@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate each paper artifact at a small fixed scale so the
+suite runs in minutes; the experiment CLI (``python -m repro.experiments``)
+is the place for full-scale regeneration.  Each bench asserts the artifact's
+qualitative claim, so a timing run doubles as a shape check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import make_rt1, make_rt2
+
+#: Packets per LC used by simulation benches (small but past warmup).
+BENCH_PACKETS = 6_000
+
+
+@pytest.fixture(scope="session")
+def rt1():
+    return make_rt1(size=6_000)
+
+
+@pytest.fixture(scope="session")
+def rt2():
+    return make_rt2(size=15_000)

@@ -1,0 +1,94 @@
+"""E9 benches — design ablations and secondary scenarios."""
+
+import pytest
+
+from repro.experiments.common import run_spal
+#: Packets per LC: small but enough to get past the warmup window.
+BENCH_PACKETS = 6_000
+
+BASE = dict(trace="D_75", n_lcs=4, cache_blocks=2048, packets_per_lc=BENCH_PACKETS)
+
+
+def test_bench_victim_cache_ablation(benchmark):
+    """Victim cache on/off (paper Sec. 3.2: avoids most conflict misses)."""
+
+    def both():
+        on = run_spal(**BASE, victim_blocks=8)
+        off = run_spal(**BASE, victim_blocks=0)
+        return on, off
+
+    on, off = benchmark.pedantic(both, rounds=1, iterations=1)
+    # The victim cache must not hurt, and usually helps.
+    assert on.mean_lookup_cycles <= off.mean_lookup_cycles * 1.05
+
+
+def test_bench_early_recording_ablation(benchmark):
+    """Early W-bit recording cuts fabric traffic (paper Sec. 3.2)."""
+
+    def both():
+        on = run_spal(**BASE, early_recording=True)
+        off = run_spal(**BASE, early_recording=False)
+        return on, off
+
+    on, off = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert on.fabric_messages <= off.fabric_messages
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+def test_bench_replacement_policy(benchmark, policy):
+    """Conventional replacement policies applied after the mix filter."""
+    result = benchmark.pedantic(
+        run_spal,
+        kwargs=dict(**BASE, policy=policy),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mean_lookup_cycles < 40
+
+
+def test_bench_cache_only_baseline(benchmark):
+    """Ref.-[6] baseline: caching without partitioning loses to SPAL."""
+
+    def both():
+        spal = run_spal(**BASE)
+        cache_only = run_spal(**BASE, partitioned=False)
+        return spal, cache_only
+
+    spal, cache_only = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert spal.mean_lookup_cycles <= cache_only.mean_lookup_cycles
+    assert cache_only.fabric_messages == 0
+
+
+def test_bench_scenario_10gbps(benchmark):
+    """The paper's 10 Gbps scenario follows the same trend."""
+    result = benchmark.pedantic(
+        run_spal,
+        kwargs=dict(**BASE, speed_gbps=10),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mean_lookup_cycles < 40
+
+
+def test_bench_scenario_dp_fe(benchmark):
+    """The 62-cycle DP-trie FE scenario."""
+    result = benchmark.pedantic(
+        run_spal,
+        kwargs=dict(**BASE, fe_cycles=62),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mean_lookup_cycles < 62
+
+
+def test_bench_fabric_latency_sensitivity(benchmark):
+    """Mean lookup time grows with fabric transit latency."""
+
+    def sweep():
+        return [
+            run_spal(**BASE, fabric="crossbar", fabric_latency=lat).mean_lookup_cycles
+            for lat in (1, 16)
+        ]
+
+    fast, slow = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert fast <= slow

@@ -1,0 +1,73 @@
+"""E4 bench — Sec. 5.1: memory accesses per lookup (Lulea 6.2/6.6, DP ≈16)."""
+
+import pytest
+
+from repro.routing import addresses_matching
+from repro.tries import DPTrie, LuleaTrie, matching_cycles
+
+
+@pytest.fixture(scope="module")
+def probe_addrs(request):
+    return None  # replaced per-test via rt fixtures
+
+
+def _addrs(table, n=3000):
+    return [int(a) for a in addresses_matching(table, n, seed=4)]
+
+
+def test_bench_lulea_lookups(benchmark, rt2):
+    """Lulea lookup throughput + the paper's ≈6.6-access / 40-cycle point."""
+    trie = LuleaTrie(rt2)
+    addrs = _addrs(rt2)
+
+    def sweep():
+        trie.counter.reset()
+        for a in addrs:
+            trie.lookup(a)
+        return trie.counter.mean_accesses
+
+    mean = benchmark(sweep)
+    assert 4.0 <= mean <= 9.0
+    assert 35 <= matching_cycles(mean) <= 46  # paper: ~40 cycles
+
+def test_bench_dp_lookups(benchmark, rt2):
+    """DP-trie lookup throughput + the paper's ≈16-access / 62-cycle point."""
+    trie = DPTrie(rt2)
+    addrs = _addrs(rt2)
+
+    def sweep():
+        trie.counter.reset()
+        for a in addrs:
+            trie.lookup(a)
+        return trie.counter.mean_accesses
+
+    mean = benchmark(sweep)
+    assert 10.0 <= mean <= 22.0
+    assert 48 <= matching_cycles(mean) <= 78  # paper: ~62 cycles
+
+
+def test_bench_worst_case_partitioned(benchmark, rt1):
+    """E4b: the possibly-shorter-worst-case claim under partitioning."""
+    from repro.core import partition_table
+
+    plan = partition_table(rt1, 16)
+    whole = LuleaTrie(rt1)
+    addrs = _addrs(rt1, 2000)
+
+    def measure():
+        whole.counter.reset()
+        for a in addrs:
+            whole.lookup(a)
+        whole_worst = whole.counter.max_accesses
+        part_worst = 0
+        for part in plan.tables:
+            m = LuleaTrie(part)
+            sub = [int(x) for x in addresses_matching(part, 200, seed=6)]
+            m.measure(sub)
+            part_worst = max(part_worst, m.counter.max_accesses)
+        return whole_worst, part_worst
+
+    whole_worst, part_worst = benchmark(measure)
+    # "May possibly shorten the worst-case lookup time": partitioning must
+    # never blow the worst case up (both sit within Lulea's 12-access bound).
+    assert part_worst <= max(whole_worst * 1.5, 12)

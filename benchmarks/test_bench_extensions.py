@@ -1,0 +1,94 @@
+"""E12/E13/E14 benches — extension experiments."""
+
+from repro.experiments import (
+    run_ipv6_storage,
+    run_lc_fill_sweep,
+    run_seed_robustness,
+)
+
+
+def test_bench_lc_fill_sweep(benchmark):
+    """E12: LC-trie fill-factor tradeoff."""
+    result = benchmark.pedantic(
+        run_lc_fill_sweep, kwargs=dict(n_addresses=800), rounds=1, iterations=1
+    )
+    numeric = [r for r in result.rows if isinstance(r["fill_factor"], float)]
+    # Lower fill factor buys accesses with nodes.
+    assert numeric[0]["nodes"] >= numeric[-1]["nodes"]
+    assert numeric[0]["mean_accesses"] <= numeric[-1]["mean_accesses"]
+
+
+def test_bench_ipv6_storage(benchmark):
+    """E13: IPv6 per-LC savings exceed same-size IPv4 savings."""
+    result = benchmark.pedantic(
+        run_ipv6_storage, kwargs=dict(size=1500), rounds=1, iterations=1
+    )
+    by_key = {(r["table"], r["trie"], r["psi"]): r for r in result.rows}
+    assert (
+        by_key[("IPv6", "binary", 16)]["saving_kb"]
+        > by_key[("IPv4", "binary", 16)]["saving_kb"]
+    )
+
+
+def test_bench_seed_robustness(benchmark):
+    """E14: conclusions stable across independent trace draws."""
+    result = benchmark.pedantic(
+        run_seed_robustness,
+        kwargs=dict(trace="D_75", n_lcs=4, n_seeds=3, packets_per_lc=4000),
+        rounds=1,
+        iterations=1,
+    )
+    means = [
+        r["mean_cycles"] for r in result.rows
+        if isinstance(r["mean_cycles"], float)
+    ]
+    assert max(means) / min(means) < 1.3
+
+
+def test_bench_aggregation(benchmark):
+    """E15: ORTC aggregation composed with partitioning."""
+    from repro.experiments import run_aggregation
+
+    result = benchmark.pedantic(
+        run_aggregation, kwargs=dict(psi=8), rounds=1, iterations=1
+    )
+    by_key = {(r["table"], r["stage"]): r["routes"] for r in result.rows}
+    for table in ("RT_1", "RT_2"):
+        assert by_key[(table, "aggregated")] <= by_key[(table, "original")]
+
+
+def test_bench_replication(benchmark):
+    """E16: replication cures the psi=3 hotspot."""
+    from repro.experiments import run_replication
+
+    result = benchmark.pedantic(
+        run_replication, kwargs=dict(packets_per_lc=6000), rounds=1, iterations=1
+    )
+    by_variant = {r["variant"]: r["mean_cycles"] for r in result.rows}
+    assert (
+        by_variant["paper-exact bits, r=2"]
+        < by_variant["paper-exact (2 bits, r=1)"]
+    )
+
+
+def test_bench_scorecard(benchmark):
+    """The one-command regression gate over every reproduced claim."""
+    from repro.experiments import run_scorecard
+
+    result = benchmark.pedantic(
+        run_scorecard, kwargs=dict(packets_per_lc=4000), rounds=1, iterations=1
+    )
+    assert all(r["status"] == "PASS" for r in result.rows)
+
+
+def test_bench_stride_optimization(benchmark):
+    """E17: the stride DP beats (or ties) the 16/8/8 habit at 3 levels."""
+    from repro.experiments import run_stride_optimization
+
+    result = benchmark.pedantic(
+        run_stride_optimization, rounds=1, iterations=1
+    )
+    rt1 = [r for r in result.rows if r["table"] == "RT_1"]
+    habit = next(r for r in rt1 if "habit" in r["strides"])
+    opt = next(r for r in rt1 if r["levels"] == 3 and "habit" not in r["strides"])
+    assert opt["entries"] <= habit["entries"]

@@ -1,0 +1,42 @@
+"""E5 bench — Fig. 4: mean lookup time vs mix value γ (ψ=4, β=4K nominal)."""
+
+import pytest
+
+from repro.experiments.common import run_spal
+#: Packets per LC: small but enough to get past the warmup window.
+BENCH_PACKETS = 6_000
+
+
+@pytest.mark.parametrize("mix", [0.0, 0.25, 0.5, 0.75])
+def test_bench_fig4_point(benchmark, mix):
+    """One γ point of Fig. 4 over the D_75 trace."""
+    result = benchmark.pedantic(
+        run_spal,
+        kwargs=dict(
+            trace="D_75",
+            n_lcs=4,
+            cache_blocks=4096,
+            mix=mix,
+            packets_per_lc=BENCH_PACKETS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.packets > 0
+    assert result.mean_lookup_cycles < 40  # always beats the raw FE time
+
+
+def test_bench_fig4_mix_shape():
+    """Fig. 4's finding: a balanced mix (25–50%) beats the extremes for
+    remote-heavy traffic."""
+    means = {}
+    for mix in (0.0, 0.5, 0.75):
+        r = run_spal(
+            "L_92-0",
+            n_lcs=4,
+            cache_blocks=4096,
+            mix=mix,
+            packets_per_lc=BENCH_PACKETS,
+        )
+        means[mix] = r.mean_lookup_cycles
+    assert means[0.5] <= means[0.75]

@@ -1,0 +1,40 @@
+"""E6 bench — Fig. 5: mean lookup time vs LR-cache size β (ψ=16)."""
+
+import pytest
+
+from repro.experiments.common import mix_for_cache, run_spal
+#: Packets per LC: small but enough to get past the warmup window.
+BENCH_PACKETS = 6_000
+
+
+@pytest.mark.parametrize("beta", [1024, 2048, 4096, 8192])
+def test_bench_fig5_point(benchmark, beta):
+    """One β point of Fig. 5 over the B_L trace."""
+    result = benchmark.pedantic(
+        run_spal,
+        kwargs=dict(
+            trace="B_L",
+            n_lcs=16,
+            cache_blocks=beta,
+            mix=mix_for_cache(beta),
+            packets_per_lc=BENCH_PACKETS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.packets == 16 * BENCH_PACKETS * 9 // 10
+
+
+def test_bench_fig5_monotone():
+    """Fig. 5's finding: a larger β consistently yields shorter lookups."""
+    means = []
+    for beta in (1024, 4096, 8192):
+        r = run_spal(
+            "D_81",
+            n_lcs=16,
+            cache_blocks=beta,
+            mix=mix_for_cache(beta),
+            packets_per_lc=BENCH_PACKETS,
+        )
+        means.append(r.mean_lookup_cycles)
+    assert means[0] > means[-1]

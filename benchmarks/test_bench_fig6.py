@@ -1,0 +1,44 @@
+"""E7 bench — Fig. 6: mean lookup time vs ψ (β=4K nominal, γ=50%)."""
+
+import pytest
+
+from repro.experiments.common import run_spal
+#: Packets per LC: small but enough to get past the warmup window.
+BENCH_PACKETS = 6_000
+
+
+@pytest.mark.parametrize("psi", [1, 2, 3, 4, 8, 16])
+def test_bench_fig6_point(benchmark, psi):
+    """One ψ point of Fig. 6 over the D_75 trace (including the paper's
+    non-power-of-two ψ=3)."""
+    result = benchmark.pedantic(
+        run_spal,
+        kwargs=dict(
+            trace="D_75",
+            n_lcs=psi,
+            cache_blocks=4096,
+            mix=0.5,
+            packets_per_lc=BENCH_PACKETS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.n_lcs == psi
+    assert result.mean_lookup_cycles > 0
+
+
+def test_bench_fig6_scaling_shape():
+    """Fig. 6's finding: a larger ψ lowers mean lookup time (finer
+    fragmentation -> better per-cache coverage + more FE parallelism)."""
+    means = {}
+    for psi in (1, 4, 16):
+        r = run_spal(
+            "D_75",
+            n_lcs=psi,
+            cache_blocks=4096,
+            mix=0.5,
+            packets_per_lc=BENCH_PACKETS,
+        )
+        means[psi] = r.mean_lookup_cycles
+    assert means[16] < means[1]
+    assert means[4] < means[1]

@@ -1,0 +1,102 @@
+"""Micro-benchmarks for the hot components: trie builds/lookups, the
+LR-cache pipeline, the event engine and the partitioner helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import LOC, REM, LRCache, pattern_of
+from repro.routing import addresses_matching
+from repro.sim import EventQueue
+from repro.tries import BinaryTrie, Dir24_8, DPTrie, LCTrie, LuleaTrie, MultibitTrie
+
+FACTORIES = {
+    "binary": BinaryTrie,
+    "dp": DPTrie,
+    "lulea": LuleaTrie,
+    "lc": lambda t: LCTrie(t, fill_factor=0.25),
+    "multibit": MultibitTrie,
+    "dir24_16": lambda t: Dir24_8(t, first_stride=16),
+}
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_bench_trie_build(benchmark, rt1, name):
+    matcher = benchmark(FACTORIES[name], rt1)
+    assert matcher.storage_bytes() > 0
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+def test_bench_trie_lookup(benchmark, rt1, name):
+    matcher = FACTORIES[name](rt1)
+    addrs = [int(a) for a in addresses_matching(rt1, 2000, seed=1)]
+
+    def sweep():
+        total = 0
+        for a in addrs:
+            total += matcher.lookup(a)
+        return total
+
+    benchmark(sweep)
+
+
+def test_bench_lr_cache_pipeline(benchmark):
+    """Probe/allocate/fill over a Zipf-ish address stream."""
+    rng = np.random.default_rng(0)
+    ranks = np.arange(1, 5001, dtype=np.float64)
+    p = ranks**-1.2
+    p /= p.sum()
+    stream = rng.choice(np.arange(5000), size=20000, p=p)
+
+    def pipeline():
+        cache = LRCache(n_blocks=1024, victim_blocks=8)
+        for a in stream:
+            a = int(a)
+            entry = cache.probe(a)
+            if entry is None:
+                e = cache.allocate(a, LOC if a % 2 else REM)
+                if e is not None:
+                    cache.fill(e, a % 16)
+        return cache.stats.hit_rate
+
+    hit_rate = benchmark(pipeline)
+    assert hit_rate > 0.5
+
+
+def test_bench_event_queue(benchmark):
+    def drain():
+        q = EventQueue()
+        sink = []
+        for t in range(10000):
+            q.schedule(t % 997, sink.append, t)
+        q.run()
+        return len(sink)
+
+    assert benchmark(drain) == 10000
+
+
+def test_bench_trie_comparison_report(benchmark, rt1):
+    """E11: the Sec. 2.1 background table across all structures."""
+    from repro.tries import compare_structures
+
+    rows = benchmark.pedantic(
+        compare_structures, args=(rt1,), kwargs=dict(n_addresses=1500),
+        rounds=1, iterations=1,
+    )
+    by_name = {r["name"]: r for r in rows}
+    # The paper's qualitative orderings.
+    assert by_name["DIR-24-8"]["storage_kb"] > 32 * 1024
+    assert by_name["DIR-24-8"]["worst_accesses"] <= 2
+    assert by_name["Lulea"]["storage_kb"] < by_name["DP"]["storage_kb"]
+    assert by_name["Lulea"]["mean_accesses"] < by_name["DP"]["mean_accesses"]
+
+
+def test_bench_pattern_of(benchmark):
+    addrs = list(range(0, 1 << 20, 37))
+
+    def sweep():
+        total = 0
+        for a in addrs:
+            total += pattern_of(a, [8, 14, 17, 21], 32)
+        return total
+
+    benchmark(sweep)

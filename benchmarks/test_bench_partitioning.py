@@ -1,0 +1,45 @@
+"""E1/E2 benches — Sec. 4: bit selection and per-partition storage."""
+
+import pytest
+
+from repro.core import partition_table, select_partition_bits
+from repro.tries import DPTrie, LCTrie, LuleaTrie
+
+
+def test_bench_bit_selection(benchmark, rt2):
+    """E1: choose 4 control bits for a 16-LC router over RT_2."""
+    bits = benchmark(select_partition_bits, rt2, 4)
+    assert len(bits) == 4
+    # Criterion (1) rules out high positions on backbone tables.
+    assert all(b <= 24 for b in bits)
+
+
+def test_bench_partition_rt2_psi16(benchmark, rt2):
+    """E1: full 16-way partitioning of RT_2."""
+    plan = benchmark(partition_table, rt2, 16)
+    sizes = plan.partition_sizes()
+    # Every partition must be a small fraction of the whole table.
+    assert max(sizes) < len(rt2) / 4
+
+
+@pytest.mark.parametrize(
+    "trie_name,factory",
+    [
+        ("DP", DPTrie),
+        ("LL", LuleaTrie),
+        ("LC", lambda t: LCTrie(t, fill_factor=0.25)),
+    ],
+)
+def test_bench_partition_storage(benchmark, rt1, trie_name, factory):
+    """E2: per-partition trie builds for RT_1, ψ=4 (the paper's storage
+    table), timed end to end."""
+    plan = partition_table(rt1, 4)
+
+    def build_all():
+        return [factory(t).storage_bytes() for t in plan.tables]
+
+    per_partition = benchmark(build_all)
+    whole = factory(rt1).storage_bytes()
+    # The paper's headline: every partition trie is far smaller than the
+    # whole-table trie.
+    assert max(per_partition) < whole

@@ -1,0 +1,38 @@
+"""E10 benches — update sensitivity and selective invalidation."""
+
+from repro.experiments import (
+    run_invalidation_comparison,
+    run_update_sensitivity,
+)
+
+#: Packets per LC: small but enough to get past the warmup window.
+BENCH_PACKETS = 6_000
+
+
+def test_bench_update_sensitivity(benchmark):
+    """Mean lookup time vs routing-update rate (flush-on-update policy)."""
+    result = benchmark.pedantic(
+        run_update_sensitivity,
+        kwargs=dict(packets_per_lc=BENCH_PACKETS, n_lcs=4),
+        rounds=1,
+        iterations=1,
+    )
+    means = [r["mean_cycles"] for r in result.rows]
+    # The paper's own operating range (20-100/s) must be essentially free.
+    assert means[1] <= means[0] * 1.1
+    # Very frequent updates degrade lookups (the Sec. 3.2 caveat).
+    assert means[-1] > means[0]
+
+
+def test_bench_invalidation_policies(benchmark):
+    """Flush vs selective invalidation at high update rates."""
+    result = benchmark.pedantic(
+        run_invalidation_comparison,
+        kwargs=dict(packets_per_lc=BENCH_PACKETS, n_lcs=4),
+        rounds=1,
+        iterations=1,
+    )
+    by_key = {(r["updates_per_s"], r["policy"]): r["mean_cycles"]
+              for r in result.rows}
+    for rate in (10_000, 50_000):
+        assert by_key[(rate, "selective")] <= by_key[(rate, "flush")]

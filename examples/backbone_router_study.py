@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Backbone router study: the paper's intro scenario, end to end.
+
+A 16-line-card 40 Gbps router faces a growing BGP table.  This example
+compares three designs over the same traffic:
+
+1. a conventional router — full table at every FE, no caches;
+2. a cache-only router — LR-caches but no partitioning (ref. [6]);
+3. a SPAL router — partitioned tables + shared LR-cache results.
+
+and reports mean lookup time, router throughput, per-LC SRAM and
+fabric traffic.
+
+Run:  python examples/backbone_router_study.py
+"""
+
+from repro.core import CacheConfig, SpalConfig, SpalRouter
+from repro.routing import make_rt2
+from repro.sim import (
+    SpalSimulator,
+    cache_only_simulator,
+    conventional_mean_cycles,
+    conventional_mpps,
+)
+from repro.traffic import FlowPopulation, generate_router_streams, trace_spec
+from repro.tries import LuleaTrie
+
+N_LCS = 16
+CACHE_BLOCKS = 512
+PACKETS_PER_LC = 8_000
+
+
+def main() -> None:
+    table = make_rt2(size=20_000)
+    spec = trace_spec("D_75").scaled(16 * PACKETS_PER_LC)
+    population = FlowPopulation(spec, table)
+
+    def fresh_streams():
+        return generate_router_streams(population, N_LCS, PACKETS_PER_LC)
+
+    config = SpalConfig(n_lcs=N_LCS, cache=CacheConfig(n_blocks=CACHE_BLOCKS))
+
+    print(f"table: {len(table)} routes; traffic: {N_LCS} LCs x "
+          f"{PACKETS_PER_LC} packets ({spec.n_flows} flows)\n")
+
+    # -- 1. conventional: the paper's optimistic 40-cycle service time.
+    conv_cycles = conventional_mean_cycles(40)
+    print("conventional router (no partition, no caches)")
+    print(f"  mean lookup: {conv_cycles:.1f} cycles "
+          f"({conventional_mpps(N_LCS):.0f} Mpps aggregate, queueing ignored)")
+
+    # -- 2. cache-only (ref. [6]): caches help, nothing is shared.
+    cache_only = cache_only_simulator(table, config).run(
+        fresh_streams(), warmup_packets=PACKETS_PER_LC // 10
+    )
+    print("cache-only router (LR-caches, whole table everywhere)")
+    print(f"  mean lookup: {cache_only.mean_lookup_cycles:.2f} cycles, "
+          f"hit rate {cache_only.overall_hit_rate:.3f}")
+
+    # -- 3. SPAL.
+    spal = SpalSimulator(table, config).run(
+        fresh_streams(), warmup_packets=PACKETS_PER_LC // 10
+    )
+    print("SPAL router (partitioned + shared LR-caches)")
+    print(f"  mean lookup: {spal.mean_lookup_cycles:.2f} cycles, "
+          f"hit rate {spal.overall_hit_rate:.3f}, "
+          f"fabric messages {spal.fabric_messages}")
+
+    speedup_conv = conv_cycles / spal.mean_lookup_cycles
+    speedup_cache = cache_only.mean_lookup_cycles / spal.mean_lookup_cycles
+    print(f"\nSPAL speedup: {speedup_conv:.1f}x vs conventional, "
+          f"{speedup_cache:.2f}x vs cache-only")
+
+    # -- SRAM accounting (the paper's other axis).
+    whole_trie_kb = LuleaTrie(table).storage_bytes() / 1024
+    router = SpalRouter(table, config)
+    report = router.storage_report()
+    print(f"\nSRAM per LC: conventional {whole_trie_kb:.0f} KB (Lulea trie)"
+          f" vs SPAL max {report['max_lc_bytes'] / 1024:.0f} KB"
+          f" (partitioned trie + {CACHE_BLOCKS}-block LR-cache)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Trace locality study: why the LR-cache works.
+
+The paper's premise is that IP destination streams have enough temporal
+locality for a 4K-block cache to reach >0.9 hit rates, and that this held
+from 1998 (WorldCup) to 2002 (backbone) traffic.  This example inspects the
+five synthetic trace profiles with the locality metrics the caching
+literature uses: unique fraction, working-set size, ideal-LRU hit rate
+versus cache size, top-flow traffic share, and reuse distances.
+
+Run:  python examples/trace_locality_study.py
+"""
+
+from repro.analysis import render_table
+from repro.routing import make_rt2
+from repro.traffic import (
+    PAPER_TRACES,
+    FlowPopulation,
+    generate_stream,
+    locality,
+    trace_spec,
+)
+
+N_PACKETS = 40_000
+
+
+def main() -> None:
+    table = make_rt2(size=10_000)
+    rows = []
+    for name in PAPER_TRACES:
+        spec = trace_spec(name).scaled(16 * N_PACKETS)
+        stream = generate_stream(FlowPopulation(spec, table), N_PACKETS)
+        reuse = locality.reuse_distance_histogram(stream, [64, 4096])
+        rows.append(
+            [
+                name,
+                f"{locality.unique_fraction(stream):.3f}",
+                f"{locality.working_set_size(stream, 1000):.0f}",
+                f"{locality.lru_hit_rate(stream, 1024):.3f}",
+                f"{locality.lru_hit_rate(stream, 4096):.3f}",
+                f"{locality.top_flow_share(stream, 0.09):.2f}",
+                f"{reuse['<=64']:.2f}",
+            ]
+        )
+    print(render_table(
+        [
+            "trace",
+            "unique_frac",
+            "ws(1k pkts)",
+            "LRU hit @1K",
+            "LRU hit @4K",
+            "top-9% share",
+            "reuse<=64",
+        ],
+        rows,
+        title=f"Locality of the five trace profiles ({N_PACKETS} packets each)",
+    ))
+    print(
+        "\nReading: the WorldCup-like traces (D_75, D_81) concentrate traffic"
+        "\nonto few destinations (paper: ~9% of flows carry ~90% of traffic);"
+        "\nthe Abilene-like backbone traces have the widest working sets and"
+        "\nbound SPAL's performance from below in Figs. 4-6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot path (the guides' rule: measure before
+optimizing).
+
+Runs a standard ψ=8 configuration under cProfile and prints the top
+functions by cumulative time, plus the simulated-packet rate.
+
+    python scripts/profile_sim.py [packets_per_lc]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.core import CacheConfig, SpalConfig
+from repro.routing import make_rt2
+from repro.sim import SpalSimulator
+from repro.traffic import FlowPopulation, generate_router_streams, trace_spec
+
+
+def main() -> None:
+    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    n_lcs = 8
+    table = make_rt2(size=20_000)
+    spec = trace_spec("L_92-0").scaled(16 * packets)
+    population = FlowPopulation(spec, table)
+    streams = generate_router_streams(population, n_lcs, packets)
+    sim = SpalSimulator(
+        table, SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=1024))
+    )
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = sim.run(streams)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    print(f"{result.packets} packets in {elapsed:.2f}s "
+          f"({result.packets / elapsed / 1000:.0f}k simulated packets/s)\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(18)
+
+
+if __name__ == "__main__":
+    main()

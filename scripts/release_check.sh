@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Release gate: install, full tests, benchmark smoke, reproduction scorecard.
+#
+# Usage: scripts/release_check.sh [--full]
+#   --full additionally times the full benchmark suite (minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+pip install -e . -q 2>/dev/null || python setup.py develop >/dev/null
+
+echo "== tests (fast) =="
+python -m pytest tests/ -q -m "not slow"
+
+echo "== examples =="
+python -m pytest tests/test_examples.py -q
+
+echo "== benchmark smoke =="
+python -m pytest benchmarks/ --benchmark-disable -q
+
+if [[ "${1:-}" == "--full" ]]; then
+  echo "== benchmark timings =="
+  python -m pytest benchmarks/ --benchmark-only -q
+fi
+
+echo "== reproduction scorecard =="
+python -m repro.experiments scorecard
+
+echo "release check passed"

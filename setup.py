@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package (pip's PEP-517
+editable path needs it): `python setup.py develop` installs from source
+offline.  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — a reproduction of *SPAL: A Speedy Packet Lookup Technique for
+High-Performance Routers* (Tzeng, ICPP 2004).
+
+Public API tour
+---------------
+* :mod:`repro.routing` — prefixes, routing tables, synthetic BGP snapshots.
+* :mod:`repro.tries` — DP / Lulea / LC tries and comparators, with storage
+  and memory-access accounting.
+* :mod:`repro.core` — the SPAL contribution: table partitioning, the
+  LR-cache, fabric models, and the router facade.
+* :mod:`repro.traffic` — locality-controlled synthetic packet traces.
+* :mod:`repro.sim` — the trace-driven cycle simulator and baselines.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import routing, tries  # noqa: F401  (core/traffic/sim imported lazily below)
+
+__all__ = [
+    "routing",
+    "tries",
+    "core",
+    "traffic",
+    "sim",
+    "analysis",
+    "experiments",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy subpackage imports keep `import repro` light.
+    if name in {"core", "traffic", "sim", "analysis", "experiments"}:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

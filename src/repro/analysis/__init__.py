@@ -1,0 +1,35 @@
+"""Analysis helpers: metric aggregation, queueing models, rendering."""
+
+from .metrics import (
+    aggregate_hit_rates,
+    compare,
+    fe_load_imbalance,
+    series,
+    speedup,
+)
+from .queueing import (
+    md1_sojourn,
+    md1_wait,
+    saturation_hit_rate,
+    spal_mean_lookup_estimate,
+    utilization,
+)
+from .charts import bar_chart, line_chart
+from .tables import render_series, render_table
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "bar_chart",
+    "line_chart",
+    "speedup",
+    "compare",
+    "series",
+    "fe_load_imbalance",
+    "aggregate_hit_rates",
+    "md1_wait",
+    "md1_sojourn",
+    "utilization",
+    "spal_mean_lookup_estimate",
+    "saturation_hit_rate",
+]

@@ -1,0 +1,114 @@
+"""ASCII charts for experiment output.
+
+The paper's figures are bar and line charts; :func:`bar_chart` and
+:func:`line_chart` render close equivalents in plain text so the experiment
+CLI shows the *shape* directly, not just a table.  Pure string building —
+no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+#: Glyphs used for multi-series line charts, in series order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    log: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, optionally log-scaled (Fig. 3 is log-scale).
+
+    Zero/negative values render as empty bars (log of those is undefined).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    def scale(v: float) -> float:
+        if v <= 0:
+            return 0.0
+        return math.log10(v) if log else v
+
+    scaled = [scale(v) for v in values]
+    lo = min((s for s, v in zip(scaled, values) if v > 0), default=0.0)
+    hi = max(scaled, default=0.0)
+    if log:
+        # Anchor log bars one decade below the smallest value.
+        lo = lo - 1.0
+    else:
+        lo = 0.0
+    span = (hi - lo) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [] if title is None else [title]
+    for label, raw, s in zip(labels, values, scaled):
+        n = int(round((s - lo) / span * width)) if raw > 0 else 0
+        bar = "#" * max(n, 1 if raw > 0 else 0)
+        lines.append(f"{label.rjust(label_w)} |{bar.ljust(width)} {raw:g}{unit}")
+    if log:
+        lines.append(f"{' ' * label_w} (log scale)")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """A multi-series scatter/line chart on a character grid (Figs. 4–6)."""
+    if not series:
+        return title or ""
+    n_points = len(x_values)
+    for name, ys in series.items():
+        if len(ys) != n_points:
+            raise ValueError(f"series {name!r} length != x length")
+    all_values = [y for ys in series.values() for y in ys if y is not None]
+    if not all_values:
+        return title or ""
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    width = width or max(2 * n_points + 2, 24)
+    grid = [[" "] * width for _ in range(height)]
+    xs = (
+        [0] if n_points == 1
+        else [round(i * (width - 1) / (n_points - 1)) for i in range(n_points)]
+    )
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[si % len(SERIES_GLYPHS)]
+        for i, y in enumerate(ys):
+            if y is None:
+                continue
+            row = height - 1 - int(round((y - lo) / span * (height - 1)))
+            grid[row][xs[i]] = glyph
+    axis_w = max(len(f"{hi:.1f}"), len(f"{lo:.1f}"))
+    lines = [] if title is None else [title]
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:.1f}".rjust(axis_w)
+        elif r == height - 1:
+            label = f"{lo:.1f}".rjust(axis_w)
+        else:
+            label = " " * axis_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(f"{' ' * axis_w} +{'-' * width}")
+    x_labels = [str(x) for x in x_values]
+    marker_line = [" "] * width
+    for x_label, x_pos in zip(x_labels, xs):
+        for j, ch in enumerate(x_label):
+            if 0 <= x_pos + j < width:
+                marker_line[x_pos + j] = ch
+    lines.append(f"{' ' * axis_w}  {''.join(marker_line)}")
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * axis_w}  {legend}")
+    return "\n".join(lines)

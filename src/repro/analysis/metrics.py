@@ -1,0 +1,60 @@
+"""Cross-run metric aggregation: speedups, comparisons, series extraction."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..sim.results import SimulationResult
+
+
+def speedup(baseline_cycles: float, result: SimulationResult) -> float:
+    """Speedup of a run against a baseline mean lookup time in cycles."""
+    if result.mean_lookup_cycles <= 0:
+        raise ValueError("result has no measured packets")
+    return baseline_cycles / result.mean_lookup_cycles
+
+
+def compare(results: Mapping[str, SimulationResult]) -> List[Dict[str, object]]:
+    """Tabulate several runs side by side (rows sorted by mean latency)."""
+    rows = [
+        {
+            "name": name,
+            "mean_cycles": round(r.mean_lookup_cycles, 3),
+            "p99_cycles": round(r.percentile(99), 1),
+            "hit_rate": round(r.overall_hit_rate, 4),
+            "router_mpps": round(r.router_mpps, 1),
+            "fabric_messages": r.fabric_messages,
+        }
+        for name, r in results.items()
+    ]
+    rows.sort(key=lambda row: row["mean_cycles"])
+    return rows
+
+
+def series(
+    results: Sequence[SimulationResult], attribute: str = "mean_lookup_cycles"
+) -> List[float]:
+    """Extract one attribute across a sweep of runs."""
+    return [float(getattr(r, attribute)) for r in results]
+
+
+def fe_load_imbalance(result: SimulationResult) -> float:
+    """Max/mean ratio of per-FE lookup counts (1.0 = perfectly balanced;
+    the hotspot diagnostic behind the non-power-of-two ψ deviation)."""
+    loads = [n for n in result.fe_lookups if n >= 0]
+    if not loads or sum(loads) == 0:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean else 1.0
+
+
+def aggregate_hit_rates(results: Iterable[SimulationResult]) -> Dict[str, float]:
+    """Min/mean/max overall hit rate across runs."""
+    rates = [r.overall_hit_rate for r in results]
+    if not rates:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": min(rates),
+        "mean": sum(rates) / len(rates),
+        "max": max(rates),
+    }

@@ -1,0 +1,107 @@
+"""Analytic queueing models for sanity-checking the simulator.
+
+The SPAL forwarding engine is, to first order, a single deterministic
+server: misses arrive (approximately Poisson for large flow populations)
+and each service takes exactly ``fe_lookup_cycles``.  The M/D/1 formulas
+below give closed-form waiting times the event-driven simulator should
+approach in simple configurations; the tests use them as an independent
+oracle, and :func:`spal_mean_lookup_estimate` provides a back-of-envelope
+predictor of the full SPAL mean that experiment code can compare runs
+against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def md1_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean waiting time (excluding service) of an M/D/1 queue.
+
+    ``arrival_rate`` in customers/cycle, ``service_time`` in cycles.
+    Pollaczek–Khinchine for deterministic service:
+    W = ρ·s / (2·(1−ρ)) with ρ = λ·s.
+    """
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError("need arrival_rate >= 0 and service_time > 0")
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        return math.inf
+    return rho * service_time / (2.0 * (1.0 - rho))
+
+
+def md1_sojourn(arrival_rate: float, service_time: float) -> float:
+    """Mean time in system (wait + service) of an M/D/1 queue."""
+    return md1_wait(arrival_rate, service_time) + service_time
+
+
+def utilization(arrival_rate: float, service_time: float) -> float:
+    return arrival_rate * service_time
+
+
+@dataclass(frozen=True)
+class SpalEstimate:
+    """Closed-form components of the SPAL mean-lookup estimate."""
+
+    hit_cycles: float
+    local_miss_cycles: float
+    remote_miss_cycles: float
+    fe_load: float
+    mean_cycles: float
+
+
+def spal_mean_lookup_estimate(
+    hit_rate: float,
+    n_lcs: int,
+    fe_lookup_cycles: int = 40,
+    arrival_rate: float = 0.1,
+    fabric_round_trip: float = 10.0,
+    cache_hit_cycles: float = 2.0,
+) -> SpalEstimate:
+    """Back-of-envelope SPAL mean lookup time.
+
+    Assumes misses spread evenly over home FEs (each FE receives the
+    router-wide miss stream for its 1/ψ address share), local/remote split
+    of (1/ψ, 1−1/ψ), and M/D/1 queueing at the FEs.  It deliberately
+    charges every arrival-LC miss a full FE lookup, ignoring home-LC cache
+    hits (the sharing SPAL adds), so it is a *pessimistic* bound on the
+    simulated mean — useful for validating simulator output from above and
+    for capacity planning ("will this ψ/β combination saturate?").
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit_rate must be within [0, 1]")
+    if n_lcs <= 0:
+        raise ValueError("n_lcs must be positive")
+    miss_rate = 1.0 - hit_rate
+    # Each FE serves the misses homed to it: ψ LCs × λ × miss / ψ.
+    fe_arrivals = arrival_rate * miss_rate
+    fe_time = md1_sojourn(fe_arrivals, float(fe_lookup_cycles))
+    local_share = 1.0 / n_lcs
+    local_miss = cache_hit_cycles + fe_time
+    remote_miss = cache_hit_cycles + fabric_round_trip + fe_time
+    mean = hit_rate * cache_hit_cycles + miss_rate * (
+        local_share * local_miss + (1.0 - local_share) * remote_miss
+    )
+    return SpalEstimate(
+        hit_cycles=cache_hit_cycles,
+        local_miss_cycles=local_miss,
+        remote_miss_cycles=remote_miss,
+        fe_load=utilization(fe_arrivals, float(fe_lookup_cycles)),
+        mean_cycles=mean,
+    )
+
+
+def saturation_hit_rate(
+    fe_lookup_cycles: int = 40, arrival_rate: float = 0.1
+) -> float:
+    """The minimum LR-cache hit rate keeping every FE below saturation.
+
+    With per-FE miss arrivals λ·(1−h), stability needs
+    λ·(1−h)·s < 1  ⟺  h > 1 − 1/(λ·s).
+    At the paper's 40 Gbps (λ = 0.1/cycle) and 40-cycle FE this is h > 0.75
+    — the quantitative reason the LR-cache is load-bearing, not merely a
+    latency optimization.
+    """
+    bound = 1.0 - 1.0 / (arrival_rate * fe_lookup_cycles)
+    return max(0.0, bound)

@@ -1,0 +1,66 @@
+"""SPAL core: table partitioning, the LR-cache, fabrics, and the router."""
+
+from .config import CYCLE_NS, CacheConfig, SpalConfig
+from .fabric import (
+    CrossbarFabric,
+    Fabric,
+    IdealFabric,
+    MultistageFabric,
+    SharedBusFabric,
+    default_fabric,
+)
+from .line_card import FEStats, ForwardingEngine, LineCard
+from .lr_cache import LOC, REM, CacheEntry, CacheStats, LRCache
+from .partition import (
+    BitScore,
+    PartitionPlan,
+    apply_route_update,
+    assign_patterns_to_lcs,
+    partition_table,
+    pattern_of,
+    patterns_of_prefix,
+    score_bit,
+    select_partition_bits,
+)
+from .replacement import FIFOPolicy, LRUPolicy, RandomPolicy, make_policy
+from .spatial import SpatialCache
+from .router import RouterStats, SpalRouter, default_matcher_factory
+from .victim_cache import VictimCache
+
+__all__ = [
+    "CYCLE_NS",
+    "CacheConfig",
+    "SpalConfig",
+    "Fabric",
+    "IdealFabric",
+    "SharedBusFabric",
+    "CrossbarFabric",
+    "MultistageFabric",
+    "default_fabric",
+    "LineCard",
+    "ForwardingEngine",
+    "FEStats",
+    "LRCache",
+    "CacheEntry",
+    "CacheStats",
+    "LOC",
+    "REM",
+    "VictimCache",
+    "SpatialCache",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "BitScore",
+    "PartitionPlan",
+    "score_bit",
+    "select_partition_bits",
+    "pattern_of",
+    "patterns_of_prefix",
+    "assign_patterns_to_lcs",
+    "partition_table",
+    "apply_route_update",
+    "SpalRouter",
+    "RouterStats",
+    "default_matcher_factory",
+]

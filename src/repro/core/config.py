@@ -1,0 +1,114 @@
+"""Configuration objects shared by the router facade and the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import CacheConfigError, SimulationError
+
+#: System cycle (paper Sec. 5.1): 5 ns.
+CYCLE_NS = 5.0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """LR-cache shape (β, associativity, γ, policy, victim size)."""
+
+    n_blocks: int = 4096
+    associativity: int = 4
+    mix: float = 0.5
+    policy: str = "lru"
+    victim_blocks: int = 8
+    index: str = "mod"
+
+    def validate(self) -> None:
+        if self.n_blocks <= 0:
+            raise CacheConfigError("n_blocks must be positive")
+        if self.associativity <= 0 or self.n_blocks % self.associativity:
+            raise CacheConfigError("associativity must divide n_blocks")
+        if not 0.0 <= self.mix <= 1.0:
+            raise CacheConfigError("mix must be within [0, 1]")
+        if self.victim_blocks < 0:
+            raise CacheConfigError("victim_blocks must be non-negative")
+        if self.index not in ("mod", "xor"):
+            raise CacheConfigError("index must be 'mod' or 'xor'")
+
+
+@dataclass(frozen=True)
+class SpalConfig:
+    """Full SPAL router configuration.
+
+    Attributes
+    ----------
+    n_lcs:
+        ψ — number of line cards (any positive integer).
+    cache:
+        LR-cache configuration (``None`` disables LR-caches entirely,
+        giving the partitioned-but-uncached ablation).
+    fe_lookup_cycles:
+        FE longest-prefix-matching time in cycles (paper: 40 under the
+        Lulea trie, 62 under the DP trie).
+    fabric:
+        Fabric kind: "default" | "ideal" | "bus" | "crossbar" | "multistage".
+    fabric_latency:
+        Override the crossbar transit latency in cycles (None = model default).
+    partition_bits:
+        Explicit control-bit positions (None = select by the paper's criteria).
+    pattern_oversubscription:
+        Pattern granularity for non-power-of-two ψ (None = library default
+        of 4; 1 = the paper's exact η = ⌈log2 ψ⌉; see
+        :func:`repro.core.partition.partition_table`).
+    replicas:
+        Pattern replication degree (1 = the paper's design; >1 trades
+        per-LC table growth for home-load spreading and failover).
+    fil_overhead_cycles:
+        FIL (fabric interface logic) processing cost per fabric hop — the
+        Outgoing/Incoming queue traversal of Fig. 2; charged on each side
+        of every transfer.
+    early_recording:
+        Reserve a waiting entry at the arrival LC before a remote request is
+        sent (paper Sec. 3.2; ablation switch).
+    cache_remote_results:
+        Whether replies from remote LCs are cached locally as REM entries
+        (disabling reproduces a share-nothing cache).
+    """
+
+    n_lcs: int = 16
+    cache: Optional[CacheConfig] = field(default_factory=CacheConfig)
+    fe_lookup_cycles: int = 40
+    fabric: str = "default"
+    fabric_latency: Optional[int] = None
+    fil_overhead_cycles: int = 3
+    partition_bits: Optional[Sequence[int]] = None
+    pattern_oversubscription: Optional[int] = None
+    replicas: int = 1
+    early_recording: bool = True
+    cache_remote_results: bool = True
+
+    def validate(self) -> None:
+        if self.n_lcs <= 0:
+            raise SimulationError("n_lcs must be positive")
+        if self.fe_lookup_cycles <= 0:
+            raise SimulationError("fe_lookup_cycles must be positive")
+        if self.cache is not None:
+            self.cache.validate()
+
+    def make_fabric(self):
+        from . import fabric as fabric_mod
+
+        if self.fabric == "default":
+            fab = fabric_mod.default_fabric(self.n_lcs)
+        elif self.fabric == "ideal":
+            fab = fabric_mod.IdealFabric(self.n_lcs)
+        elif self.fabric == "bus":
+            fab = fabric_mod.SharedBusFabric(self.n_lcs)
+        elif self.fabric == "crossbar":
+            fab = fabric_mod.CrossbarFabric(self.n_lcs)
+        elif self.fabric == "multistage":
+            fab = fabric_mod.MultistageFabric(self.n_lcs)
+        else:
+            raise SimulationError(f"unknown fabric kind {self.fabric!r}")
+        if self.fabric_latency is not None and hasattr(fab, "transit_cycles"):
+            fab.transit_cycles = self.fabric_latency
+        return fab

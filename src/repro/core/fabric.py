@@ -1,0 +1,148 @@
+"""Switching-fabric models (paper Sec. 1 and 3).
+
+The paper places "no emphasis on the fabric details, but the fabric latency
+(in terms of system cycles) is assumed to depend on the fabric size": a
+shared bus for small ψ, a single crossbar for moderate ψ, or a
+multistage structure of small crossbars beyond that, with per-hop latencies
+of a few ns (Pericom-class crossbars).  These models supply (a) a latency in
+5 ns cycles as a function of ψ and (b) optional per-port serialization so
+fabric contention is simulated rather than assumed away.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..errors import SimulationError
+
+
+class Fabric(ABC):
+    """A latency/contention model for the LC interconnect."""
+
+    name: str = "?"
+
+    def __init__(self, n_lcs: int):
+        if n_lcs <= 0:
+            raise SimulationError(f"fabric needs at least one LC, got {n_lcs}")
+        self.n_lcs = n_lcs
+        # Per-LC port availability for serialization (one message per cycle
+        # per direction, matching the FIL queues of Fig. 2).
+        self._out_free = [0] * n_lcs
+        self._in_free = [0] * n_lcs
+        self.messages = 0
+
+    @abstractmethod
+    def latency_cycles(self) -> int:
+        """Transit latency in cycles for one message."""
+
+    def transfer(self, src: int, dst: int, when: int) -> int:
+        """Schedule a message from LC ``src`` to LC ``dst`` entering the
+        fabric no earlier than cycle ``when``; returns the delivery cycle.
+
+        Serializes on the source's outgoing port and the destination's
+        incoming port (1 message/cycle each).
+        """
+        depart = max(when, self._out_free[src])
+        self._out_free[src] = depart + 1
+        arrive = depart + self.latency_cycles()
+        arrive = max(arrive, self._in_free[dst])
+        self._in_free[dst] = arrive + 1
+        self.messages += 1
+        return arrive
+
+    def reset(self) -> None:
+        self._out_free = [0] * self.n_lcs
+        self._in_free = [0] * self.n_lcs
+        self.messages = 0
+
+
+class IdealFabric(Fabric):
+    """Zero-latency, contention-free interconnect (upper-bound ablation)."""
+
+    name = "ideal"
+
+    def latency_cycles(self) -> int:
+        return 0
+
+    def transfer(self, src: int, dst: int, when: int) -> int:
+        self.messages += 1
+        return when
+
+
+class SharedBusFabric(Fabric):
+    """A single shared bus: 1-cycle transit but global serialization.
+
+    Appropriate only for small ψ (the paper's "shared-bus (for a small ψ)").
+    """
+
+    name = "bus"
+
+    def __init__(self, n_lcs: int):
+        super().__init__(n_lcs)
+        self._bus_free = 0
+
+    def latency_cycles(self) -> int:
+        return 1
+
+    def transfer(self, src: int, dst: int, when: int) -> int:
+        depart = max(when, self._bus_free)
+        self._bus_free = depart + 1
+        self.messages += 1
+        return depart + self.latency_cycles()
+
+    def reset(self) -> None:
+        super().reset()
+        self._bus_free = 0
+
+
+class CrossbarFabric(Fabric):
+    """A single crossbar: fixed small latency, per-port serialization.
+
+    Default 2 cycles (10 ns) matches the paper's "packet latency over the
+    fabric being 10 ns or less".
+    """
+
+    name = "crossbar"
+
+    def __init__(self, n_lcs: int, transit_cycles: int = 2):
+        super().__init__(n_lcs)
+        if transit_cycles < 0:
+            raise SimulationError("transit_cycles must be non-negative")
+        self.transit_cycles = transit_cycles
+
+    def latency_cycles(self) -> int:
+        return self.transit_cycles
+
+
+class MultistageFabric(Fabric):
+    """A multistage network of k×k crossbars: ⌈log_k ψ⌉ hops.
+
+    Models the paper's "multistage-based switching fabric for interconnecting
+    a moderate number of LCs" built from small fast crossbars.
+    """
+
+    name = "multistage"
+
+    def __init__(self, n_lcs: int, radix: int = 4, hop_cycles: int = 1):
+        super().__init__(n_lcs)
+        if radix < 2:
+            raise SimulationError(f"radix must be >= 2, got {radix}")
+        if hop_cycles <= 0:
+            raise SimulationError("hop_cycles must be positive")
+        self.radix = radix
+        self.hop_cycles = hop_cycles
+        self.stages = max(1, math.ceil(math.log(max(n_lcs, 2), radix)))
+
+    def latency_cycles(self) -> int:
+        return self.stages * self.hop_cycles
+
+
+def default_fabric(n_lcs: int) -> Fabric:
+    """The fabric the paper's sizing suggests for ψ LCs: a bus up to 4,
+    one crossbar up to 16, multistage beyond."""
+    if n_lcs <= 4:
+        return SharedBusFabric(n_lcs)
+    if n_lcs <= 16:
+        return CrossbarFabric(n_lcs)
+    return MultistageFabric(n_lcs)

@@ -1,0 +1,115 @@
+"""Line card: forwarding engine + FIL (fabric interface logic) + LR-cache.
+
+This module provides the *functional* line-card model used by the router
+facade (:mod:`repro.core.router`): it answers lookups correctly and tracks
+cache/FE statistics, but does not model time — timing lives in
+:mod:`repro.sim.spal_sim`, which drives the same cache objects cycle by
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..routing.table import NextHop, RoutingTable
+from ..tries.base import LongestPrefixMatcher
+from .config import CacheConfig
+from .lr_cache import LOC, REM, LRCache
+
+
+@dataclass
+class FEStats:
+    """Forwarding-engine load accounting."""
+
+    lookups: int = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+
+
+class ForwardingEngine:
+    """An FE: one LPM structure over this LC's ROT-partition."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        matcher_factory: Callable[[RoutingTable], LongestPrefixMatcher],
+    ):
+        self.table = table
+        self._matcher_factory = matcher_factory
+        self.matcher = matcher_factory(table)
+        self.stats = FEStats()
+
+    def lookup(self, address: int) -> NextHop:
+        self.stats.lookups += 1
+        return self.matcher.lookup(address)
+
+    def rebuild(self) -> None:
+        """Rebuild the LPM structure after table updates (static tries)."""
+        self.matcher = self._matcher_factory(self.table)
+
+    def storage_bytes(self) -> int:
+        return self.matcher.storage_bytes()
+
+
+class LineCard:
+    """One LC: an FE over its forwarding table plus an optional LR-cache."""
+
+    def __init__(
+        self,
+        index: int,
+        table: RoutingTable,
+        matcher_factory: Callable[[RoutingTable], LongestPrefixMatcher],
+        cache_config: Optional[CacheConfig] = None,
+        policy_seed: int = 0,
+    ):
+        self.index = index
+        self.fe = ForwardingEngine(table, matcher_factory)
+        self.cache: Optional[LRCache] = None
+        if cache_config is not None:
+            cache_config.validate()
+            self.cache = LRCache(
+                n_blocks=cache_config.n_blocks,
+                associativity=cache_config.associativity,
+                mix=cache_config.mix,
+                policy=cache_config.policy,
+                victim_blocks=cache_config.victim_blocks,
+                policy_seed=policy_seed,
+                index=cache_config.index,
+            )
+
+    def lookup_local(self, address: int, mix: int = LOC) -> NextHop:
+        """Resolve an address at this LC: LR-cache first, then the FE,
+        recording the result (functional model — no waiting lists)."""
+        if self.cache is None:
+            return self.fe.lookup(address)
+        entry = self.cache.probe(address)
+        if entry is not None and not entry.waiting:
+            return entry.next_hop  # type: ignore[return-value]
+        if entry is not None:
+            # Functional model: resolve the waiting entry immediately.
+            hop = self.fe.lookup(address)
+            self.cache.fill(entry, hop)
+            return hop
+        hop = self.fe.lookup(address)
+        new_entry = self.cache.allocate(address, mix)
+        if new_entry is not None:
+            self.cache.fill(new_entry, hop)
+        return hop
+
+    def record_remote(self, address: int, next_hop: NextHop) -> None:
+        """Cache a result obtained from a remote home LC (M = REM)."""
+        if self.cache is not None:
+            self.cache.insert_complete(address, next_hop, REM)
+
+    def flush_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.flush()
+
+    def storage_bytes(self) -> int:
+        """Total SRAM at this LC: trie plus LR-cache (paper Sec. 1)."""
+        total = self.fe.storage_bytes()
+        if self.cache is not None:
+            total += self.cache.storage_bytes()
+        return total

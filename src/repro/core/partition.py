@@ -1,0 +1,412 @@
+"""SPAL table partitioning (paper Sec. 3.1).
+
+The routing table is fragmented into ψ ROT-partitions using η = ⌈log2 ψ⌉
+selected bit positions of the prefixes.  A prefix belongs to every partition
+whose bit pattern is compatible with it: at each selected position the prefix
+either has that bit value or a wildcard ``*`` (position beyond its length).
+
+Bit selection follows the paper's two criteria, applied recursively:
+
+* **Criterion (1)** — minimise replication: choose the bit ``b_ν`` with the
+  smallest Φ* (number of prefixes whose bit ν is ``*``), since each such
+  prefix appears in both subsets.
+* **Criterion (2)** — balance: minimise |Φ0 − Φ1| over the prefixes whose
+  bit ν is defined.
+
+For multiple control bits the criteria are applied recursively: the first
+bit is chosen over the whole set; the second is chosen by evaluating
+candidate bits on each of the two subsets separately and picking the single
+position best for both subsets combined, and so on — all partitions use the
+same global bit positions, which is what lets a line card route a packet to
+its home LC by examining η fixed positions of the destination address
+(the LR1 detector of Fig. 2).
+
+ψ need not be a power of two: the 2^η bit patterns are assigned to ψ line
+cards with a balanced (longest-processing-time) mapping, so e.g. ψ = 3 gives
+two LCs one pattern each and one LC two patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import PartitionError
+from ..routing.prefix import Prefix
+from ..routing.table import NextHop, RoutingTable
+
+
+@dataclass(frozen=True)
+class BitScore:
+    """Score of one candidate bit position over one prefix subset."""
+
+    position: int
+    wildcard: int   # Φ*  — prefixes with '*' at this position
+    zeros: int      # Φ0
+    ones: int       # Φ1
+
+    @property
+    def imbalance(self) -> int:
+        return abs(self.zeros - self.ones)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Lexicographic objective: Criterion (1) then Criterion (2)."""
+        return (self.wildcard, self.imbalance)
+
+
+def score_bit(
+    prefixes: Sequence[Prefix], position: int
+) -> BitScore:
+    """Count Φ*, Φ0 and Φ1 for one bit position over a prefix set."""
+    wildcard = zeros = ones = 0
+    for prefix in prefixes:
+        if position >= prefix.length:
+            wildcard += 1
+        elif (prefix.value >> (prefix.width - 1 - position)) & 1:
+            ones += 1
+        else:
+            zeros += 1
+    return BitScore(position, wildcard, zeros, ones)
+
+
+def select_partition_bits(
+    table: RoutingTable,
+    n_bits: int,
+    candidate_positions: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Choose ``n_bits`` control-bit positions per the paper's criteria.
+
+    ``candidate_positions`` defaults to every bit of the address width; the
+    paper notes large positions (ν > 24) are effectively ruled out by
+    Criterion (1) because most prefixes are shorter, so no explicit cut-off
+    is needed.
+    """
+    if n_bits < 0:
+        raise PartitionError(f"n_bits must be non-negative, got {n_bits}")
+    if n_bits == 0:
+        return []
+    width = table.width
+    candidates = list(candidate_positions or range(width))
+    if any(not 0 <= c < width for c in candidates):
+        raise PartitionError("candidate bit position out of range")
+    if n_bits > len(candidates):
+        raise PartitionError(
+            f"cannot choose {n_bits} bits from {len(candidates)} candidates"
+        )
+    prefixes = [p for p in table.prefixes()]
+    chosen: List[int] = []
+    # Current fragmentation: start with the whole set, split as bits are
+    # chosen.  Each subset is the multiset of prefixes compatible with one
+    # bit pattern over the chosen bits (wildcards replicated into both).
+    subsets: List[List[Prefix]] = [prefixes]
+    for _ in range(n_bits):
+        best_position = -1
+        best_key: Optional[Tuple[int, int, int]] = None
+        for position in candidates:
+            if position in chosen:
+                continue
+            # Recursive application: evaluate the candidate on each current
+            # subset separately (hypothetical split), then combine.  The two
+            # criteria are scalarized as (max partition size, total size,
+            # spread): Φ* inflates both max and total (Criterion 1) and
+            # |Φ0−Φ1| inflates the max and the spread (Criterion 2); the max
+            # comes first because each LC's SRAM is sized by its own
+            # partition.
+            sizes: List[int] = []
+            for subset in subsets:
+                score = score_bit(subset, position)
+                sizes.append(score.zeros + score.wildcard)
+                sizes.append(score.ones + score.wildcard)
+            key = (max(sizes), sum(sizes), max(sizes) - min(sizes))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_position = position
+        chosen.append(best_position)
+        # Split every subset on the chosen bit.
+        next_subsets: List[List[Prefix]] = []
+        for subset in subsets:
+            zeros: List[Prefix] = []
+            ones: List[Prefix] = []
+            for prefix in subset:
+                if best_position >= prefix.length:
+                    zeros.append(prefix)
+                    ones.append(prefix)
+                elif (prefix.value >> (prefix.width - 1 - best_position)) & 1:
+                    ones.append(prefix)
+                else:
+                    zeros.append(prefix)
+            next_subsets.extend((zeros, ones))
+        subsets = next_subsets
+    return chosen
+
+
+def pattern_of(address: int, bits: Sequence[int], width: int) -> int:
+    """The control-bit pattern of an address: bit ``bits[0]`` is the MSB of
+    the pattern (this is the LR1 detector of Fig. 2)."""
+    pattern = 0
+    for position in bits:
+        pattern = (pattern << 1) | ((address >> (width - 1 - position)) & 1)
+    return pattern
+
+
+def patterns_of_prefix(prefix: Prefix, bits: Sequence[int]) -> List[int]:
+    """All control-bit patterns a prefix is compatible with (wildcard
+    positions expand to both values)."""
+    patterns = [0]
+    for position in bits:
+        bit = prefix.bit(position) if position < prefix.width else -1
+        if bit == -1 or position >= prefix.length:
+            patterns = [p << 1 for p in patterns] + [
+                (p << 1) | 1 for p in patterns
+            ]
+        else:
+            patterns = [(p << 1) | bit for p in patterns]
+    return patterns
+
+
+def assign_patterns_to_lcs(
+    pattern_sizes: Sequence[int], n_lcs: int
+) -> List[int]:
+    """Balanced pattern → LC assignment (LPT bin packing).
+
+    Returns ``lc_of_pattern``: for each of the 2^η patterns, the LC index
+    holding it.  With ψ a power of two this is the identity; otherwise
+    patterns are spread so LC forwarding-table sizes stay as equal as
+    possible (paper: ψ can be "any integer, say 3, 5, 6, 7").
+    """
+    n_patterns = len(pattern_sizes)
+    if n_lcs <= 0:
+        raise PartitionError(f"need at least one LC, got {n_lcs}")
+    if n_lcs > n_patterns:
+        raise PartitionError(
+            f"{n_lcs} LCs but only {n_patterns} patterns; increase n_bits"
+        )
+    if n_lcs == n_patterns:
+        return list(range(n_patterns))
+    order = sorted(range(n_patterns), key=lambda i: -pattern_sizes[i])
+    loads = [0] * n_lcs
+    counts = [0] * n_lcs
+    lc_of_pattern = [0] * n_patterns
+    remaining = n_patterns
+    for pattern in order:
+        # Longest-processing-time: put the biggest unassigned pattern on the
+        # least-loaded LC that can still accept one (every LC must end up
+        # with at least one pattern).
+        must_fill = [
+            lc for lc in range(n_lcs) if counts[lc] == 0
+        ]
+        if len(must_fill) == remaining:
+            lc = min(must_fill, key=lambda i: loads[i])
+        else:
+            lc = min(range(n_lcs), key=lambda i: loads[i])
+        lc_of_pattern[pattern] = lc
+        loads[lc] += pattern_sizes[pattern]
+        counts[lc] += 1
+        remaining -= 1
+    return lc_of_pattern
+
+
+@dataclass(eq=False)
+class PartitionPlan:
+    """A complete SPAL partitioning of one routing table.
+
+    Attributes
+    ----------
+    bits:
+        Selected control-bit positions (η of them, MSB of the pattern first).
+    n_lcs:
+        ψ, the number of line cards.
+    lc_of_pattern:
+        Pattern → LC mapping (identity when ψ is a power of two).
+    tables:
+        One forwarding :class:`RoutingTable` per LC (the ROT-partition
+        union for its patterns).
+    """
+
+    bits: List[int]
+    n_lcs: int
+    lc_of_pattern: List[int]
+    tables: List[RoutingTable]
+    source_version: int = 0
+    #: Replica LCs per pattern (parallel to ``lc_of_pattern``; entry 0 is
+    #: the primary).  Populated when ``partition_table(replicas > 1)``.
+    replicas_of_pattern: Optional[List[List[int]]] = None
+    #: LCs currently marked failed (affects ``home_lc`` replica choice).
+    failed_lcs: "set[int]" = field(default_factory=set)
+
+    @property
+    def width(self) -> int:
+        return self.tables[0].width
+
+    def home_lc(self, address: int) -> int:
+        """The home LC of an address (LR1 detector).
+
+        With replication, load spreads across the pattern's live replicas
+        (selected by low address bits, so one flow always lands on the same
+        replica and stays cacheable there); failed LCs are skipped.
+        """
+        pattern = pattern_of(address, self.bits, self.width)
+        if self.replicas_of_pattern is None:
+            return self.lc_of_pattern[pattern]
+        replicas = self.replicas_of_pattern[pattern]
+        live = [lc for lc in replicas if lc not in self.failed_lcs]
+        if not live:
+            raise PartitionError(
+                f"all replicas of pattern {pattern:#b} have failed"
+            )
+        return live[address % len(live)]
+
+    def fail_lc(self, lc: int) -> None:
+        """Mark an LC failed: its home load shifts to surviving replicas.
+
+        Without replication a failed LC's patterns become unreachable —
+        the fault-tolerance argument for ``replicas > 1``.
+        """
+        if not 0 <= lc < self.n_lcs:
+            raise PartitionError(f"LC {lc} out of range")
+        self.failed_lcs.add(lc)
+
+    def restore_lc(self, lc: int) -> None:
+        self.failed_lcs.discard(lc)
+
+    def partition_sizes(self) -> List[int]:
+        return [len(t) for t in self.tables]
+
+    def replication_factor(self, table: RoutingTable) -> float:
+        """Mean number of partitions each original prefix appears in."""
+        total = sum(self.partition_sizes())
+        return total / len(table) if len(table) else 0.0
+
+
+def partition_table(
+    table: RoutingTable,
+    n_lcs: int,
+    bits: Optional[Sequence[int]] = None,
+    candidate_positions: Optional[Sequence[int]] = None,
+    pattern_oversubscription: Optional[int] = None,
+    replicas: int = 1,
+) -> PartitionPlan:
+    """Fragment ``table`` into forwarding tables for ``n_lcs`` line cards.
+
+    ``bits`` overrides automatic selection (used by the ablation comparing
+    criteria-chosen bits against naive choices).
+
+    ``replicas`` homes every pattern on that many distinct LCs (an
+    extension beyond the paper): per-LC forwarding tables grow roughly
+    ``replicas``-fold, in exchange for spreading home-lookup load across
+    the replicas and tolerating ``replicas − 1`` LC failures per pattern
+    (see :meth:`PartitionPlan.fail_lc`).
+
+    ``pattern_oversubscription`` controls the number of control bits for
+    non-power-of-two ψ.  The paper uses exactly η = ⌈log2 ψ⌉ bits; with
+    ψ = 3 that gives one LC *half* of the address space as its home share,
+    which overloads its FE at high line rates.  The default therefore uses
+    enough bits that 2^η ≥ oversub × ψ (oversub = 4) whenever ψ is not a
+    power of two, so the balanced pattern→LC assignment can even out both
+    table sizes and home traffic.  Pass ``pattern_oversubscription=1`` for
+    the paper's exact η.  Power-of-two ψ always uses exactly ⌈log2 ψ⌉.
+    """
+    if n_lcs <= 0:
+        raise PartitionError(f"need at least one LC, got {n_lcs}")
+    if len(table) == 0:
+        raise PartitionError("cannot partition an empty routing table")
+    eta = max(n_lcs - 1, 0).bit_length()  # ⌈log2 ψ⌉
+    power_of_two = n_lcs & (n_lcs - 1) == 0
+    if not power_of_two:
+        oversub = 4 if pattern_oversubscription is None else pattern_oversubscription
+        if oversub < 1:
+            raise PartitionError("pattern_oversubscription must be >= 1")
+        while (1 << eta) < oversub * n_lcs:
+            eta += 1
+    if bits is None:
+        bit_list = select_partition_bits(table, eta, candidate_positions)
+    else:
+        bit_list = list(bits)
+        if (1 << len(bit_list)) < n_lcs:
+            raise PartitionError(
+                f"{len(bit_list)} bits give {1 << len(bit_list)} patterns; "
+                f"need at least {n_lcs}"
+            )
+        if len(set(bit_list)) != len(bit_list):
+            raise PartitionError("duplicate partition bits")
+        if any(not 0 <= b < table.width for b in bit_list):
+            raise PartitionError("partition bit out of range")
+        eta = len(bit_list)
+
+    n_patterns = 1 << eta
+    # Routes per pattern.
+    per_pattern: List[List[Tuple[Prefix, NextHop]]] = [
+        [] for _ in range(n_patterns)
+    ]
+    for prefix, hop in table.routes():
+        for pattern in patterns_of_prefix(prefix, bit_list):
+            per_pattern[pattern].append((prefix, hop))
+
+    if not 1 <= replicas <= n_lcs:
+        raise PartitionError(
+            f"replicas must be in [1, n_lcs]; got {replicas} for {n_lcs} LCs"
+        )
+    lc_of_pattern = assign_patterns_to_lcs(
+        [len(routes) for routes in per_pattern], n_lcs
+    )
+    replicas_of_pattern: Optional[List[List[int]]] = None
+    if replicas > 1:
+        # Replica k of a pattern lives k LCs after the primary (mod ψ):
+        # deterministic, distinct, and spreads secondary load evenly.
+        replicas_of_pattern = [
+            [(primary + k) % n_lcs for k in range(replicas)]
+            for primary in lc_of_pattern
+        ]
+
+    tables = [RoutingTable(table.width) for _ in range(n_lcs)]
+    for pattern, routes in enumerate(per_pattern):
+        holders = (
+            replicas_of_pattern[pattern]
+            if replicas_of_pattern is not None
+            else [lc_of_pattern[pattern]]
+        )
+        for lc in holders:
+            target = tables[lc]
+            for prefix, hop in routes:
+                target.update(prefix, hop)  # dedupe across merged patterns
+    return PartitionPlan(
+        bits=bit_list,
+        n_lcs=n_lcs,
+        lc_of_pattern=lc_of_pattern,
+        tables=tables,
+        source_version=table.version,
+        replicas_of_pattern=replicas_of_pattern,
+    )
+
+
+def apply_route_update(
+    plan: PartitionPlan,
+    prefix: Prefix,
+    next_hop: Optional[NextHop],
+) -> List[int]:
+    """Apply one incremental routing update to a partition plan.
+
+    ``next_hop=None`` deletes the route.  Returns the list of LC indexes
+    whose forwarding tables changed (those LCs must rebuild/patch their
+    tries and, per the paper's policy, all LR-caches are flushed).
+    """
+    touched: List[int] = []
+    seen: set[int] = set()
+    for pattern in patterns_of_prefix(prefix, plan.bits):
+        if plan.replicas_of_pattern is not None:
+            holders = plan.replicas_of_pattern[pattern]
+        else:
+            holders = [plan.lc_of_pattern[pattern]]
+        for lc in holders:
+            if lc in seen:
+                continue
+            seen.add(lc)
+            if next_hop is None:
+                if prefix in plan.tables[lc]:
+                    plan.tables[lc].remove(prefix)
+                    touched.append(lc)
+            else:
+                plan.tables[lc].update(prefix, next_hop)
+                touched.append(lc)
+    return touched

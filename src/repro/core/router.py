@@ -1,0 +1,194 @@
+"""The SPAL router facade: partition + line cards + fabric, functional API.
+
+:class:`SpalRouter` is the library's front door.  It partitions a routing
+table across ψ line cards, builds an LPM structure per LC, wires up
+LR-caches, and answers lookups through the full SPAL flow (Sec. 3.3):
+
+1. a packet arrives at an LC and probes that LC's LR-cache;
+2. on a miss, the LR1 detector routes the request to the home LC
+   (``plan.home_lc(address)``), locally or across the fabric;
+3. the home LC probes its own LR-cache, falls back to its FE, and caches
+   the result as LOC;
+4. a remote reply is cached at the arrival LC as REM.
+
+This facade is *functional* (correctness + hit/traffic statistics); timed
+behaviour — queueing, waiting lists, cycle budgets — is simulated by
+:class:`repro.sim.spal_sim.SpalSimulator`, which reuses the same partition,
+cache and fabric objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..routing.prefix import Prefix
+from ..routing.table import NextHop, RoutingTable
+from ..tries.base import LongestPrefixMatcher
+from ..tries.lulea import LuleaTrie
+from .config import SpalConfig
+from .line_card import LineCard
+from .lr_cache import LOC
+from .partition import PartitionPlan, apply_route_update, partition_table
+
+
+def default_matcher_factory(table: RoutingTable) -> LongestPrefixMatcher:
+    """The paper's primary FE structure: the Lulea trie."""
+    return LuleaTrie(table)
+
+
+@dataclass
+class RouterStats:
+    """Aggregate counters across the router."""
+
+    lookups: int = 0
+    local_home: int = 0        # packets whose home LC is their arrival LC
+    remote_requests: int = 0   # requests sent across the fabric
+    remote_replies: int = 0    # replies returned across the fabric
+    updates: int = 0           # routing-table updates applied
+
+
+class SpalRouter:
+    """A ψ-line-card SPAL router over one routing table.
+
+    Parameters
+    ----------
+    table:
+        The full (BGP) routing table.
+    config:
+        Router shape; see :class:`repro.core.config.SpalConfig`.
+    matcher_factory:
+        Builds the per-LC LPM structure (default: Lulea trie).
+    """
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        config: Optional[SpalConfig] = None,
+        matcher_factory: Callable[[RoutingTable], LongestPrefixMatcher] = default_matcher_factory,
+    ):
+        self.config = config or SpalConfig()
+        self.config.validate()
+        self.table = table
+        self.plan: PartitionPlan = partition_table(
+            table,
+            self.config.n_lcs,
+            bits=self.config.partition_bits,
+            pattern_oversubscription=self.config.pattern_oversubscription,
+            replicas=self.config.replicas,
+        )
+        self._matcher_factory = matcher_factory
+        self.line_cards: List[LineCard] = [
+            LineCard(
+                index=i,
+                table=self.plan.tables[i],
+                matcher_factory=matcher_factory,
+                cache_config=self.config.cache,
+                policy_seed=i,
+            )
+            for i in range(self.config.n_lcs)
+        ]
+        self.fabric = self.config.make_fabric()
+        self.stats = RouterStats()
+
+    # -- lookups ------------------------------------------------------------
+
+    def lookup(self, address: int, arrival_lc: int = 0) -> NextHop:
+        """Resolve one destination address arriving at ``arrival_lc``
+        through the full SPAL flow."""
+        if not 0 <= arrival_lc < self.config.n_lcs:
+            raise SimulationError(f"arrival LC {arrival_lc} out of range")
+        self.stats.lookups += 1
+        lc = self.line_cards[arrival_lc]
+        # Arrival-LC cache probe.
+        if lc.cache is not None:
+            entry = lc.cache.probe(address)
+            if entry is not None and not entry.waiting:
+                return entry.next_hop  # type: ignore[return-value]
+        home = self.plan.home_lc(address)
+        if home == arrival_lc:
+            self.stats.local_home += 1
+            return lc.lookup_local(address, mix=LOC)
+        # Remote flow: request over the fabric to the home LC.
+        self.stats.remote_requests += 1
+        hop = self.line_cards[home].lookup_local(address, mix=LOC)
+        self.stats.remote_replies += 1
+        if self.config.cache_remote_results:
+            lc.record_remote(address, hop)
+        return hop
+
+    def lookup_direct(self, address: int) -> NextHop:
+        """LPM over the partitioned tables without any caching (used by
+        verification and by the partition-preserving-LPM invariant tests)."""
+        home = self.plan.home_lc(address)
+        return self.line_cards[home].fe.matcher.lookup(address)
+
+    # -- updates ------------------------------------------------------------
+
+    def apply_update(
+        self,
+        prefix: Prefix,
+        next_hop: Optional[NextHop],
+        invalidation: str = "flush",
+    ) -> List[int]:
+        """Apply one routing update (insert/change, or delete when
+        ``next_hop`` is None): patch the master table and the affected
+        partitions, rebuild those FEs, and invalidate LR-cache state.
+
+        ``invalidation`` selects the cache policy: ``"flush"`` drops every
+        entry (the paper's conservative Sec. 3.2 policy) while
+        ``"selective"`` drops only entries the updated prefix covers — the
+        remedy for the paper's noted weakness with frequent incremental
+        updates.
+        """
+        if invalidation not in ("flush", "selective"):
+            raise SimulationError(
+                f"invalidation must be 'flush' or 'selective', got {invalidation!r}"
+            )
+        if next_hop is None:
+            self.table.remove(prefix)
+        else:
+            self.table.update(prefix, next_hop)
+        touched = apply_route_update(self.plan, prefix, next_hop)
+        for lc_index in touched:
+            self.line_cards[lc_index].fe.rebuild()
+        for lc in self.line_cards:
+            if lc.cache is None:
+                continue
+            if invalidation == "flush":
+                lc.flush_cache()
+            else:
+                lc.cache.invalidate_matching(prefix)
+        self.stats.updates += 1
+        return touched
+
+    # -- reporting -----------------------------------------------------------
+
+    def partition_sizes(self) -> List[int]:
+        return self.plan.partition_sizes()
+
+    def storage_report(self) -> Dict[str, object]:
+        """Per-LC and total SRAM (trie + LR-cache), in bytes."""
+        per_lc = [lc.storage_bytes() for lc in self.line_cards]
+        tries = [lc.fe.storage_bytes() for lc in self.line_cards]
+        return {
+            "per_lc_bytes": per_lc,
+            "trie_bytes": tries,
+            "total_bytes": sum(per_lc),
+            "max_lc_bytes": max(per_lc),
+            "partition_bits": list(self.plan.bits),
+            "partition_sizes": self.partition_sizes(),
+        }
+
+    def cache_hit_rates(self) -> List[float]:
+        return [
+            lc.cache.stats.hit_rate if lc.cache is not None else 0.0
+            for lc in self.line_cards
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"SpalRouter(psi={self.config.n_lcs}, "
+            f"bits={self.plan.bits}, routes={len(self.table)})"
+        )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PrefixError(ReproError, ValueError):
+    """An IP prefix is malformed or out of range."""
+
+
+class TableError(ReproError):
+    """A routing-table operation failed (duplicate/missing prefix, ...)."""
+
+
+class PartitionError(ReproError):
+    """Table partitioning could not satisfy the request."""
+
+
+class CacheConfigError(ReproError, ValueError):
+    """An LR-cache / victim-cache configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TrieError(ReproError):
+    """A trie build or lookup failed."""

@@ -1,0 +1,103 @@
+"""Experiment runners: one per paper table/figure, plus ablations.
+
+Registry keys map the CLI (``python -m repro.experiments <name>``) and the
+benchmark suite to runner functions; each returns an
+:class:`~repro.experiments.common.ExperimentResult`.
+"""
+
+from typing import Callable, Dict
+
+from .access_counts import run_access_counts, run_worst_case_partitioned
+from .aggregation import run_aggregation
+from .ablations import (
+    run_associativity_sweep,
+    run_index_function_ablation,
+    run_bit_selection_ablation,
+    run_block_size_ablation,
+    run_design_ablations,
+    run_fabric_sensitivity,
+    run_oversubscription_ablation,
+    run_scenario_matrix,
+)
+from .ipv6_storage import run_ipv6_storage
+from .lc_fill import run_lc_fill_sweep
+from .replication_exp import run_replication
+from .robustness import run_seed_robustness
+from .rt1_trend import run_rt1_trend
+from .scorecard import run_scorecard
+from .stride_exp import run_stride_optimization
+from .trie_comparison import run_trie_comparison
+from .updates import run_invalidation_comparison, run_update_sensitivity
+from .common import ExperimentResult, paper_scale, run_spal
+from .fig3_sram import run_fig3
+from .fig4_mix import run_fig4
+from .fig5_cache_size import run_fig5
+from .fig6_scaling import run_fig6
+from .headline import run_headline
+from .partitioning import run_bit_selection, run_partition_storage
+
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
+    "partition-bits": run_bit_selection,
+    "partition-storage": run_partition_storage,
+    "fig3": run_fig3,
+    "access-counts": run_access_counts,
+    "worst-case": run_worst_case_partitioned,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "headline": run_headline,
+    "ablations": run_design_ablations,
+    "fabric": run_fabric_sensitivity,
+    "bit-ablation": run_bit_selection_ablation,
+    "oversub": run_oversubscription_ablation,
+    "associativity": run_associativity_sweep,
+    "block-size": run_block_size_ablation,
+    "index-fn": run_index_function_ablation,
+    "scenarios": run_scenario_matrix,
+    "updates": run_update_sensitivity,
+    "invalidation": run_invalidation_comparison,
+    "trie-comparison": run_trie_comparison,
+    "lc-fill": run_lc_fill_sweep,
+    "ipv6": run_ipv6_storage,
+    "robustness": run_seed_robustness,
+    "scorecard": run_scorecard,
+    "aggregation": run_aggregation,
+    "replication": run_replication,
+    "strides": run_stride_optimization,
+    "rt1-trend": run_rt1_trend,
+}
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "paper_scale",
+    "run_spal",
+    "run_bit_selection",
+    "run_partition_storage",
+    "run_fig3",
+    "run_access_counts",
+    "run_worst_case_partitioned",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_headline",
+    "run_design_ablations",
+    "run_fabric_sensitivity",
+    "run_bit_selection_ablation",
+    "run_oversubscription_ablation",
+    "run_associativity_sweep",
+    "run_block_size_ablation",
+    "run_index_function_ablation",
+    "run_scenario_matrix",
+    "run_update_sensitivity",
+    "run_invalidation_comparison",
+    "run_trie_comparison",
+    "run_lc_fill_sweep",
+    "run_ipv6_storage",
+    "run_seed_robustness",
+    "run_scorecard",
+    "run_aggregation",
+    "run_replication",
+    "run_stride_optimization",
+    "run_rt1_trend",
+]

@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.experiments [-o DIR] [--packets N] [name ...]``.
+
+With no names, every registered experiment runs in order.  ``-o/--out DIR``
+additionally writes each rendered table to ``DIR/<name>.txt``;
+``--packets N`` overrides the per-LC packet budget for quick looks.  Set
+``REPRO_PAPER_SCALE=1`` for the paper's full table sizes and packet counts
+and ``REPRO_WORKERS=<n>`` to fan figure sweeps over a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from . import REGISTRY, paper_scale
+
+
+def main(argv: list[str]) -> int:
+    out_dir: Path | None = None
+    names: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg in ("-o", "--out"):
+            try:
+                out_dir = Path(next(it))
+            except StopIteration:
+                print("missing directory after -o/--out", file=sys.stderr)
+                return 2
+        elif arg == "--packets":
+            try:
+                os.environ["REPRO_PACKETS"] = str(int(next(it)))
+            except (StopIteration, ValueError):
+                print("--packets needs an integer", file=sys.stderr)
+                return 2
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            print(f"available experiments: {', '.join(REGISTRY)}")
+            return 0
+        elif arg in ("-l", "--list"):
+            width = max(len(n) for n in REGISTRY)
+            for reg_name, runner in REGISTRY.items():
+                doc = (runner.__doc__ or "").strip().splitlines()
+                summary = doc[0] if doc else ""
+                print(f"{reg_name.ljust(width)}  {summary}")
+            return 0
+        else:
+            names.append(arg)
+    names = names or list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    scale = "paper" if paper_scale() else "reduced (set REPRO_PAPER_SCALE=1 for full)"
+    print(f"# SPAL reproduction experiments — scale: {scale}\n")
+    for name in names:
+        start = time.time()
+        result = REGISTRY[name]()
+        result.print()
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(
+                f"{result.exp_id}: {result.title}\n{result.rendered}\n"
+            )
+            (out_dir / f"{name}.json").write_text(result.to_json() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,93 @@
+"""E4 — Sec. 5.1 measurements: memory accesses per lookup for each trie.
+
+The paper measures the Lulea trie at 6.2 (RT_1) and 6.6 (RT_2) accesses per
+lookup on average and the DP trie at about 16 for either table, which yield
+the 40- and 62-cycle FE matching times.  This experiment reproduces the
+measurement over matched address streams and also reports the *worst-case*
+access count for partitioned versus whole tries — the basis of the paper's
+"possibly shortens the worst-case lookup time" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_table
+from ..core.partition import partition_table
+from ..routing.synthetic import addresses_matching
+from ..tries.base import matching_cycles
+from .common import ExperimentResult, get_rt1, get_rt2, paper_scale
+from .partitioning import TRIE_FACTORIES
+
+
+def run_access_counts(n_addresses: int = 0) -> ExperimentResult:
+    """E4: mean memory accesses per lookup and derived FE cycles."""
+    result = ExperimentResult(
+        "E4",
+        "Mean memory accesses per lookup (paper: Lulea 6.2/6.6, DP ≈16) and "
+        "FE cycles derived as ceil((a×12ns + 120ns)/5ns)",
+    )
+    if n_addresses <= 0:
+        n_addresses = 20_000 if paper_scale() else 4_000
+    rows: List[Dict[str, object]] = []
+    for table_name, table in (("RT_1", get_rt1()), ("RT_2", get_rt2())):
+        addrs = [int(a) for a in addresses_matching(table, n_addresses, seed=4)]
+        for trie_name, factory in TRIE_FACTORIES.items():
+            matcher = factory(table)
+            mean, worst = matcher.measure(addrs)
+            rows.append(
+                {
+                    "table": table_name,
+                    "trie": trie_name,
+                    "mean_accesses": round(mean, 2),
+                    "worst_accesses": worst,
+                    "fe_cycles": matching_cycles(mean),
+                }
+            )
+    result.rows = rows
+    result.rendered = render_table(
+        ["table", "trie", "mean_accesses", "worst_accesses", "fe_cycles"],
+        [[r[k] for k in ("table", "trie", "mean_accesses", "worst_accesses",
+                         "fe_cycles")] for r in rows],
+    )
+    return result
+
+
+def run_worst_case_partitioned(n_addresses: int = 0) -> ExperimentResult:
+    """Worst-case accesses: whole trie vs the largest partition's trie."""
+    result = ExperimentResult(
+        "E4b",
+        "Worst-case accesses per lookup, whole vs partitioned (psi=16): the "
+        "paper's possibly-shorter-worst-case claim",
+    )
+    if n_addresses <= 0:
+        n_addresses = 10_000 if paper_scale() else 3_000
+    rows: List[Dict[str, object]] = []
+    for table_name, table in (("RT_1", get_rt1()), ("RT_2", get_rt2())):
+        plan = partition_table(table, 16)
+        for trie_name, factory in TRIE_FACTORIES.items():
+            whole = factory(table)
+            addrs = [int(a) for a in addresses_matching(table, n_addresses, seed=5)]
+            _, whole_worst = whole.measure(addrs)
+            part_worst = 0
+            for part in plan.tables:
+                matcher = factory(part)
+                sub = [int(a) for a in addresses_matching(part, max(200, n_addresses // 16), seed=6)]
+                _, w = matcher.measure(sub)
+                part_worst = max(part_worst, w)
+            rows.append(
+                {
+                    "table": table_name,
+                    "trie": trie_name,
+                    "whole_worst": whole_worst,
+                    "partitioned_worst": part_worst,
+                    "improved": part_worst <= whole_worst,
+                }
+            )
+    result.rows = rows
+    result.rendered = render_table(
+        ["table", "trie", "whole_worst", "partitioned_worst", "improved"],
+        [[r[k] for k in ("table", "trie", "whole_worst", "partitioned_worst",
+                         "improved")] for r in rows],
+    )
+    return result

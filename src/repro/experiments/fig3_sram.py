@@ -1,0 +1,62 @@
+"""E3 — Fig. 3: total SRAM (KB) for the DP, Lulea and LC tries, with (S)
+and without (W) SPAL partitioning, at ψ = 4 and 16 over RT_1 and RT_2.
+
+"Total SRAM" follows the figure's convention: with partitioning it is the
+sum over all LCs of each LC's partition trie; without partitioning each of
+the ψ LCs holds the full trie, so the total is ψ × whole-trie size.  The
+figure's message — the S bars sit well below the W bars, and the gap widens
+with ψ — is scale-invariant, so it survives the reduced default tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_table
+from ..core.partition import partition_table
+from .common import ExperimentResult, get_rt1, get_rt2
+from .partitioning import TRIE_FACTORIES
+
+
+def run_fig3() -> ExperimentResult:
+    """E3 / Fig. 3: total SRAM per trie, partitioned vs whole-table."""
+    result = ExperimentResult(
+        "E3 (Fig. 3)",
+        "Total SRAM (KB) per trie, partitioned (S) vs whole-table (W)",
+    )
+    rows: List[Dict[str, object]] = []
+    for psi in (4, 16):
+        for table_name, table in (("RT_1", get_rt1()), ("RT_2", get_rt2())):
+            plan = partition_table(table, psi)
+            row: Dict[str, object] = {"config": f"psi={psi}, {table_name}"}
+            for trie_name, factory in TRIE_FACTORIES.items():
+                whole_kb = factory(table).storage_bytes() / 1024.0
+                split_kb = sum(
+                    factory(t).storage_bytes() for t in plan.tables
+                ) / 1024.0
+                row[f"{trie_name}_S"] = round(split_kb, 1)
+                row[f"{trie_name}_W"] = round(whole_kb * psi, 1)
+            rows.append(row)
+    result.rows = rows
+    headers = ["config"] + [
+        f"{t}_{v}" for t in TRIE_FACTORIES for v in ("S", "W")
+    ]
+    result.rendered = render_table(
+        headers, [[r[h] for h in headers] for r in rows]
+    )
+    from ..analysis.charts import bar_chart
+
+    charts = []
+    series_names = [f"{t}_{v}" for t in TRIE_FACTORIES for v in ("S", "W")]
+    for row in rows:
+        charts.append(
+            bar_chart(
+                series_names,
+                [float(row[name]) for name in series_names],
+                log=True,
+                unit=" KB",
+                title=f"(chart: {row['config']})",
+            )
+        )
+    result.rendered += "\n\n" + "\n\n".join(charts)
+    return result

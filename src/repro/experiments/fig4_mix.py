@@ -1,0 +1,60 @@
+"""E5 — Fig. 4: mean lookup time (cycles) versus the mix value γ.
+
+Configuration from the paper: ψ = 4, β = 4K blocks, 40 Gbps LCs, 40-cycle
+FE lookups, γ ∈ {0 %, 25 %, 50 %, 75 %}, five traces.  The paper's finding:
+γ = 50 % is best or nearly best for every trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_series
+from ..traffic.profiles import PAPER_TRACES
+from .common import ExperimentResult, run_spal
+
+MIX_VALUES = (0.0, 0.25, 0.5, 0.75)
+
+
+def run_fig4(
+    cache_blocks: int = 4096,
+    n_lcs: int = 4,
+    packets_per_lc: int | None = None,
+    traces: List[str] | None = None,
+) -> ExperimentResult:
+    """E5 / Fig. 4: mean lookup time versus the mix value γ."""
+    result = ExperimentResult(
+        "E5 (Fig. 4)",
+        f"Mean lookup time (cycles) vs mix value γ; psi={n_lcs}, β={cache_blocks}",
+    )
+    traces = traces or PAPER_TRACES
+    series: Dict[str, List[float]] = {t: [] for t in traces}
+    for trace in traces:
+        for mix in MIX_VALUES:
+            sim = run_spal(
+                trace,
+                n_lcs=n_lcs,
+                cache_blocks=cache_blocks,
+                mix=mix,
+                packets_per_lc=packets_per_lc,
+            )
+            series[trace].append(sim.mean_lookup_cycles)
+            result.rows.append(
+                {
+                    "trace": trace,
+                    "mix": mix,
+                    "mean_cycles": round(sim.mean_lookup_cycles, 3),
+                    "hit_rate": round(sim.overall_hit_rate, 4),
+                }
+            )
+    result.rendered = render_series(
+        "mix",
+        [f"{int(m * 100)}%" for m in MIX_VALUES],
+        series,
+    )
+    from ..analysis.charts import line_chart
+
+    result.rendered += "\n\n" + line_chart(
+        [f"{int(m * 100)}%" for m in MIX_VALUES], series, title="(chart: mean lookup cycles)"
+    )
+    return result

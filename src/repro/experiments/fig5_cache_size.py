@@ -1,0 +1,67 @@
+"""E6 — Fig. 5: mean lookup time (cycles) versus LR-cache size β.
+
+Configuration from the paper: ψ = 16, β ∈ {1K, 2K, 4K, 8K}, 40 Gbps,
+40-cycle FE lookups, γ = 50 % (25 % at β = 1K), five traces.  Findings to
+reproduce: larger β consistently shortens lookups; at β = 4K all traces sit
+below ~9 cycles, i.e. >21 M lookups/s per LC and >336 Mpps for the router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_series
+from ..traffic.profiles import PAPER_TRACES
+from .common import ExperimentResult, mix_for_cache, run_spal
+
+CACHE_SIZES = (1024, 2048, 4096, 8192)
+
+
+def run_fig5(
+    n_lcs: int = 16,
+    packets_per_lc: int | None = None,
+    traces: List[str] | None = None,
+) -> ExperimentResult:
+    """E6 / Fig. 5: mean lookup time versus LR-cache size β."""
+    result = ExperimentResult(
+        "E6 (Fig. 5)",
+        f"Mean lookup time (cycles) vs LR-cache size; psi={n_lcs}, γ=50% (25% @1K)",
+    )
+    traces = traces or PAPER_TRACES
+    series: Dict[str, List[float]] = {t: [] for t in traces}
+    grid = [
+        dict(
+            trace=trace,
+            n_lcs=n_lcs,
+            cache_blocks=beta,
+            mix=mix_for_cache(beta),
+            packets_per_lc=packets_per_lc,
+        )
+        for trace in traces
+        for beta in CACHE_SIZES
+    ]
+    from .parallel import run_spal_grid
+
+    for kwargs, sim in zip(grid, run_spal_grid(grid)):
+        trace, beta = kwargs["trace"], kwargs["cache_blocks"]
+        series[trace].append(sim.mean_lookup_cycles)
+        result.rows.append(
+            {
+                "trace": trace,
+                "beta": beta,
+                "mean_cycles": round(sim.mean_lookup_cycles, 3),
+                "hit_rate": round(sim.overall_hit_rate, 4),
+                "router_mpps": round(sim.router_mpps, 1),
+            }
+        )
+    result.rendered = render_series(
+        "beta",
+        [f"{b // 1024}K" for b in CACHE_SIZES],
+        series,
+    )
+    from ..analysis.charts import line_chart
+
+    result.rendered += "\n\n" + line_chart(
+        [f"{b // 1024}K" for b in CACHE_SIZES], series, title="(chart: mean lookup cycles)"
+    )
+    return result

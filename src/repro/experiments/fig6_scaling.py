@@ -1,0 +1,64 @@
+"""E7 — Fig. 6: mean lookup time (cycles) versus ψ (number of LCs).
+
+Configuration from the paper: β = 4K, γ = 50 %, 40 Gbps, 40-cycle FE,
+ψ ∈ {1, 2, 3, 4, 8, 16} (explicitly including a non-power-of-two).
+Findings to reproduce: mean lookup time falls as ψ grows (better address-
+space coverage per cache + more FE parallelism); ψ = 1 equals the
+cache-without-partitioning design of ref. [6].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_series
+from ..traffic.profiles import PAPER_TRACES
+from .common import ExperimentResult, run_spal
+
+PSI_VALUES = (1, 2, 3, 4, 8, 16)
+
+
+def run_fig6(
+    cache_blocks: int = 4096,
+    packets_per_lc: int | None = None,
+    traces: List[str] | None = None,
+    psi_values: tuple = PSI_VALUES,
+) -> ExperimentResult:
+    """E7 / Fig. 6: mean lookup time versus ψ (number of LCs)."""
+    result = ExperimentResult(
+        "E7 (Fig. 6)",
+        f"Mean lookup time (cycles) vs ψ; β={cache_blocks}, γ=50%",
+    )
+    traces = traces or PAPER_TRACES
+    series: Dict[str, List[float]] = {t: [] for t in traces}
+    grid = [
+        dict(
+            trace=trace,
+            n_lcs=psi,
+            cache_blocks=cache_blocks,
+            mix=0.5,
+            packets_per_lc=packets_per_lc,
+        )
+        for trace in traces
+        for psi in psi_values
+    ]
+    from .parallel import run_spal_grid
+
+    for kwargs, sim in zip(grid, run_spal_grid(grid)):
+        trace, psi = kwargs["trace"], kwargs["n_lcs"]
+        series[trace].append(sim.mean_lookup_cycles)
+        result.rows.append(
+            {
+                "trace": trace,
+                "psi": psi,
+                "mean_cycles": round(sim.mean_lookup_cycles, 3),
+                "hit_rate": round(sim.overall_hit_rate, 4),
+            }
+        )
+    result.rendered = render_series("psi", list(psi_values), series)
+    from ..analysis.charts import line_chart
+
+    result.rendered += "\n\n" + line_chart(
+        list(psi_values), series, title="(chart: mean lookup cycles)"
+    )
+    return result

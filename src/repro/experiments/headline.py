@@ -1,0 +1,69 @@
+"""E8 — the headline claim: a ψ = 16 SPAL router with 4K-block LR-caches
+forwards >336 Mpps, about 4.2× a conventional router.
+
+The conventional baseline follows the paper's own accounting (Sec. 5.2):
+40 cycles (200 ns) per lookup with FE queueing ignored optimistically, i.e.
+5 M lookups/s per LC and 80 Mpps for a 16-LC router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_table
+from ..sim.baselines import conventional_mean_cycles, conventional_mpps
+from ..traffic.profiles import PAPER_TRACES
+from .common import ExperimentResult, run_spal
+
+
+def run_headline(
+    n_lcs: int = 16,
+    cache_blocks: int = 4096,
+    fe_cycles: int = 40,
+    packets_per_lc: int | None = None,
+    traces: List[str] | None = None,
+) -> ExperimentResult:
+    """E8: ψ=16 SPAL vs the conventional router (paper: 4.2×, >336 Mpps)."""
+    result = ExperimentResult(
+        "E8",
+        "Headline: SPAL psi=16, β=4K vs conventional router "
+        "(paper: >336 Mpps, 4.2× speedup)",
+    )
+    traces = traces or PAPER_TRACES
+    base_cycles = conventional_mean_cycles(fe_cycles)
+    base_mpps = conventional_mpps(n_lcs, fe_cycles)
+    rows: List[Dict[str, object]] = []
+    for trace in traces:
+        sim = run_spal(
+            trace,
+            n_lcs=n_lcs,
+            cache_blocks=cache_blocks,
+            fe_cycles=fe_cycles,
+            packets_per_lc=packets_per_lc,
+        )
+        rows.append(
+            {
+                "trace": trace,
+                "spal_mean_cycles": round(sim.mean_lookup_cycles, 3),
+                "spal_mpps": round(sim.router_mpps, 1),
+                "conventional_mpps": round(base_mpps, 1),
+                "speedup": round(base_cycles / sim.mean_lookup_cycles, 2),
+            }
+        )
+    mean_speedup = sum(r["speedup"] for r in rows) / len(rows)
+    rows.append(
+        {
+            "trace": "MEAN",
+            "spal_mean_cycles": "",
+            "spal_mpps": "",
+            "conventional_mpps": "",
+            "speedup": round(mean_speedup, 2),
+        }
+    )
+    result.rows = rows
+    result.rendered = render_table(
+        ["trace", "spal_mean_cycles", "spal_mpps", "conventional_mpps", "speedup"],
+        [[r[k] for k in ("trace", "spal_mean_cycles", "spal_mpps",
+                         "conventional_mpps", "speedup")] for r in rows],
+    )
+    return result

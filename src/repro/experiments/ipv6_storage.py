@@ -1,0 +1,69 @@
+"""E13 — IPv6 storage reduction (Sec. 4: "the reduction amount will be much
+larger under IPv6"; conclusion: "SPAL is feasibly applicable to IPv6").
+
+Partitions a synthetic IPv6 table at ψ = 4 and 16 and reports per-LC trie
+storage against the unpartitioned trie, alongside an IPv4 table of the
+*same prefix count* so the paper's "much larger under IPv6" comparison is
+apples to apples, using the binary and DP tries plus the width-generalized
+Lulea trie (16/8/.../8 levels at width 128).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_table
+from ..core.partition import partition_table
+from ..routing.ipv6 import make_ipv6_table
+from ..tries.binary_trie import BinaryTrie
+from ..tries.dp_trie import DPTrie
+from ..tries.lulea import LuleaTrie
+from .common import ExperimentResult, paper_scale
+
+
+def run_ipv6_storage(size: int = 0) -> ExperimentResult:
+    """E13: IPv6 vs IPv4 per-LC storage reduction under partitioning."""
+    result = ExperimentResult(
+        "E13",
+        "IPv6 vs IPv4 per-LC storage reduction under partitioning "
+        "(paper: larger savings under IPv6)",
+    )
+    if size <= 0:
+        size = 20_000 if paper_scale() else 4_000
+    from ..routing.synthetic import make_rt1
+
+    tables = {
+        "IPv4": make_rt1(size=size),
+        "IPv6": make_ipv6_table(size, seed=13),
+    }
+    rows: List[Dict[str, object]] = []
+    for table_name, table in tables.items():
+        for trie_name, factory in (
+            ("binary", BinaryTrie),
+            ("DP", DPTrie),
+            ("Lulea", LuleaTrie),
+        ):
+            whole_kb = factory(table).storage_bytes() / 1024.0
+            for psi in (4, 16):
+                plan = partition_table(table, psi)
+                max_part_kb = max(
+                    factory(t).storage_bytes() for t in plan.tables
+                ) / 1024.0
+                rows.append(
+                    {
+                        "table": table_name,
+                        "trie": trie_name,
+                        "psi": psi,
+                        "whole_kb": round(whole_kb, 1),
+                        "max_part_kb": round(max_part_kb, 1),
+                        "saving_kb": round(whole_kb - max_part_kb, 1),
+                        "reduction": round(whole_kb / max_part_kb, 1),
+                    }
+                )
+    result.rows = rows
+    headers = ["table", "trie", "psi", "whole_kb", "max_part_kb",
+               "saving_kb", "reduction"]
+    result.rendered = render_table(
+        headers, [[r[h] for h in headers] for r in rows]
+    )
+    return result

@@ -1,0 +1,63 @@
+"""E12 — LC-trie fill-factor sweep (Sec. 4 uses fill factor 0.25).
+
+The fill factor trades node count (SRAM) against trie depth (accesses):
+lower values level-compress more aggressively, spending array slots on
+empty children to cut path length.  The paper fixes 0.25 without showing
+the tradeoff; this experiment does, and also sweeps the root-branch
+override (the other knob in the published implementation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_table
+from ..routing.synthetic import addresses_matching
+from ..tries.lc_trie import LCTrie
+from .common import ExperimentResult, get_rt1, paper_scale
+
+FILL_FACTORS = (0.125, 0.25, 0.5, 0.75, 1.0)
+
+
+def run_lc_fill_sweep(n_addresses: int = 0) -> ExperimentResult:
+    """E12: LC-trie fill-factor / root-branch tradeoff sweep."""
+    result = ExperimentResult(
+        "E12", "LC-trie fill-factor sweep over RT_1 (paper uses 0.25)"
+    )
+    if n_addresses <= 0:
+        n_addresses = 10_000 if paper_scale() else 2_500
+    table = get_rt1()
+    addrs = [int(a) for a in addresses_matching(table, n_addresses, seed=12)]
+    rows: List[Dict[str, object]] = []
+    for fill in FILL_FACTORS:
+        trie = LCTrie(table, fill_factor=fill)
+        mean, worst = trie.measure(addrs)
+        rows.append(
+            {
+                "fill_factor": fill,
+                "nodes": trie.node_count,
+                "storage_kb": round(trie.storage_bytes() / 1024.0, 1),
+                "mean_accesses": round(mean, 2),
+                "worst_accesses": worst,
+            }
+        )
+    # Root-branch override rows (the published code's large root array).
+    for root_branch in (8, 12, 16):
+        trie = LCTrie(table, fill_factor=0.25, root_branch=root_branch)
+        mean, worst = trie.measure(addrs)
+        rows.append(
+            {
+                "fill_factor": f"0.25 root={root_branch}",
+                "nodes": trie.node_count,
+                "storage_kb": round(trie.storage_bytes() / 1024.0, 1),
+                "mean_accesses": round(mean, 2),
+                "worst_accesses": worst,
+            }
+        )
+    result.rows = rows
+    result.rendered = render_table(
+        ["fill_factor", "nodes", "storage_kb", "mean_accesses", "worst_accesses"],
+        [[r[k] for k in ("fill_factor", "nodes", "storage_kb",
+                         "mean_accesses", "worst_accesses")] for r in rows],
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Process-parallel experiment sweeps.
+
+The figure experiments are sweeps of independent simulations; this module
+fans them out over a process pool.  Workers rebuild tables/populations from
+seeds (everything in the library is deterministic), so results are
+bit-identical to sequential runs regardless of worker count.
+
+Enabled by the environment variable ``REPRO_WORKERS=<n>`` (default:
+sequential), which the figure runners consult via :func:`run_spal_grid`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.results import SimulationResult
+from .common import run_spal
+
+
+def workers_from_env() -> int:
+    """Configured worker count (1 = sequential)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    return max(1, n)
+
+
+def _run_one(kwargs: Dict[str, object]) -> SimulationResult:
+    return run_spal(**kwargs)
+
+
+def run_spal_grid(
+    grid: Sequence[Dict[str, object]],
+    workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run ``run_spal(**kwargs)`` for every kwargs dict in ``grid``.
+
+    Results come back in grid order.  ``workers=None`` reads
+    ``REPRO_WORKERS``; 1 runs sequentially in-process (no pickling, easier
+    debugging).
+    """
+    n_workers = workers_from_env() if workers is None else max(1, workers)
+    if n_workers == 1 or len(grid) <= 1:
+        return [run_spal(**kwargs) for kwargs in grid]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(grid))) as pool:
+        return list(pool.map(_run_one, grid))

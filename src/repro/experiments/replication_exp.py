@@ -1,0 +1,90 @@
+"""E16 — pattern replication: load spreading and failover (extension).
+
+SPAL homes each pattern on exactly one LC; a hot pattern concentrates FE
+load there, and an LC failure strands its patterns.  Replicating each
+pattern on r LCs (``partition_table(replicas=r)``) addresses both, at the
+cost of r× forwarding-table storage.  This experiment measures:
+
+* mean lookup time and FE-load imbalance at ψ = 3 (the hotspot case from
+  the E7 deviation note) with the paper-exact 2-bit scheme, with
+  oversubscribed bits, and with 2-way replication;
+* storage growth across replication degrees at ψ = 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.metrics import fe_load_imbalance
+from ..analysis.tables import render_table
+from ..core.config import CacheConfig, SpalConfig
+from ..core.partition import partition_table, select_partition_bits
+from ..sim.spal_sim import SpalSimulator
+from .common import (
+    ExperimentResult,
+    default_packets_per_lc,
+    get_rt2,
+    scale_cache,
+    streams_for_trace,
+)
+
+
+def run_replication(
+    trace: str = "L_92-1",
+    packets_per_lc: Optional[int] = None,
+) -> ExperimentResult:
+    """E16: pattern replication — hotspot relief and failover."""
+    result = ExperimentResult(
+        "E16", f"Pattern replication at psi=3 ({trace}) + storage at psi=8"
+    )
+    table = get_rt2()
+    n = packets_per_lc if packets_per_lc is not None else default_packets_per_lc()
+    beta = scale_cache(4096)
+    rows: List[Dict[str, object]] = []
+
+    exact_bits = select_partition_bits(table, 2)
+    variants = (
+        ("paper-exact (2 bits, r=1)",
+         dict(partition_bits=exact_bits)),
+        ("oversubscribed (r=1)", dict()),
+        ("paper-exact bits, r=2", dict(partition_bits=exact_bits, replicas=2)),
+        ("oversubscribed, r=2", dict(replicas=2)),
+    )
+    for label, extra in variants:
+        config = SpalConfig(
+            n_lcs=3, cache=CacheConfig(n_blocks=beta), **extra
+        )
+        sim = SpalSimulator(table, config)
+        run = sim.run(
+            streams_for_trace(trace, 3, n),
+            warmup_packets=n // 10,
+            name=label,
+        )
+        rows.append(
+            {
+                "variant": label,
+                "mean_cycles": round(run.mean_lookup_cycles, 2),
+                "fe_imbalance": round(fe_load_imbalance(run), 2),
+                "max_partition": max(sim.plan.partition_sizes()),
+            }
+        )
+    result.rows = rows
+    result.rendered = render_table(
+        ["variant", "mean_cycles", "fe_imbalance", "max_partition"],
+        [[r[k] for k in ("variant", "mean_cycles", "fe_imbalance",
+                         "max_partition")] for r in rows],
+    )
+
+    # Storage growth vs replication degree (psi=8).
+    storage_rows = []
+    for r in (1, 2, 4):
+        plan = partition_table(table, 8, replicas=r)
+        storage_rows.append(
+            [r, max(plan.partition_sizes()), sum(plan.partition_sizes())]
+        )
+    result.rendered += "\n\n" + render_table(
+        ["replicas", "max_partition", "total_routes_stored"],
+        storage_rows,
+        title="(storage cost at psi=8)",
+    )
+    return result

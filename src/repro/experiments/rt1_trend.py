@@ -1,0 +1,68 @@
+"""E18 — the paper's "similar trend" claim for RT_1.
+
+Sec. 5.2 opens: "Extensive simulation results for RT_1 and RT_2 were
+gathered and found to exhibit a similar trend; therefore, only the results
+for RT_2 are presented here."  This experiment verifies our stand-ins keep
+that property: a ψ sweep over the same trace on both tables must produce
+the same ordering (mean lookup time falling with ψ) and strongly
+correlated values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from .common import ExperimentResult, run_spal
+
+PSI_SWEEP = (1, 4, 16)
+
+
+def run_rt1_trend(
+    trace: str = "D_75",
+    packets_per_lc: Optional[int] = None,
+) -> ExperimentResult:
+    """E18: RT_1 and RT_2 exhibit the same trend (paper Sec. 5.2)."""
+    result = ExperimentResult(
+        "E18",
+        'The paper\'s "RT_1 and RT_2 exhibit a similar trend" claim '
+        f"({trace}, ψ sweep)",
+    )
+    rows: List[Dict[str, object]] = []
+    means: Dict[str, List[float]] = {"rt1": [], "rt2": []}
+    for table_id in ("rt1", "rt2"):
+        for psi in PSI_SWEEP:
+            sim = run_spal(
+                trace,
+                n_lcs=psi,
+                table_id=table_id,
+                packets_per_lc=packets_per_lc,
+            )
+            means[table_id].append(sim.mean_lookup_cycles)
+            rows.append(
+                {
+                    "table": table_id.upper().replace("RT", "RT_"),
+                    "psi": psi,
+                    "mean_cycles": round(sim.mean_lookup_cycles, 3),
+                }
+            )
+    a, b = np.array(means["rt1"]), np.array(means["rt2"])
+    corr = float(np.corrcoef(a, b)[0, 1]) if len(a) > 1 else 1.0
+    same_trend = bool(
+        a[0] > a[-1] and b[0] > b[-1]  # both improve with psi
+    )
+    rows.append(
+        {
+            "table": "corr/trend",
+            "psi": "-",
+            "mean_cycles": f"r={corr:.3f}, same_trend={same_trend}",
+        }
+    )
+    result.rows = rows
+    result.rendered = render_table(
+        ["table", "psi", "mean_cycles"],
+        [[r["table"], r["psi"], r["mean_cycles"]] for r in rows],
+    )
+    return result

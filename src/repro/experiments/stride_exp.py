@@ -1,0 +1,56 @@
+"""E17 — stride selection: the habit vs the optimum.
+
+The paper's background (Sec. 2.1) notes the stride choice trades lookup
+speed against memory; the Lulea/DIR designs hard-code 16/8/8 and 24/8.
+This experiment runs the Srinivasan–Varghese dynamic program over both
+tables and a level budget sweep, reporting the memory-minimal strides per
+level count alongside the habitual choices — showing where the habit is
+actually optimal and what each extra memory access buys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.tables import render_table
+from ..tries.multibit import MultibitTrie
+from ..tries.stride_opt import optimal_strides
+from .common import ExperimentResult, get_rt1, get_rt2
+
+
+def run_stride_optimization() -> ExperimentResult:
+    """E17: optimal fixed strides (DP) vs the habitual 16/8/8."""
+    result = ExperimentResult(
+        "E17",
+        "Optimal fixed strides (Srinivasan–Varghese DP) vs the 16/8/8 habit",
+    )
+    rows: List[Dict[str, object]] = []
+    for table_name, table in (("RT_1", get_rt1()), ("RT_2", get_rt2())):
+        habit = MultibitTrie(table, strides=(16, 8, 8))
+        rows.append(
+            {
+                "table": table_name,
+                "levels": 3,
+                "strides": "16/8/8 (habit)",
+                "entries": habit.entry_count,
+                "mb": round(habit.storage_bytes() / (1 << 20), 2),
+            }
+        )
+        for k in (2, 3, 4, 5):
+            strides, entries = optimal_strides(table, max_levels=k)
+            rows.append(
+                {
+                    "table": table_name,
+                    "levels": k,
+                    "strides": "/".join(map(str, strides)),
+                    "entries": entries,
+                    "mb": round(entries * 4 / (1 << 20), 2),
+                }
+            )
+    result.rows = rows
+    result.rendered = render_table(
+        ["table", "levels", "strides", "entries", "mb"],
+        [[r[k] for k in ("table", "levels", "strides", "entries", "mb")]
+         for r in rows],
+    )
+    return result

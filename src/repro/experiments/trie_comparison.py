@@ -1,0 +1,35 @@
+"""E11 — background table (Sec. 2.1): all LPM structures side by side.
+
+The paper's background section contrasts software tries (storage vs lookup
+cost) and the DIR-24-8 hardware design (fast but >32 MB).  This experiment
+generates that comparison over both tables: storage, build time, mean/worst
+memory accesses, and the derived FE matching time.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table
+from ..tries.reports import compare_structures
+from .common import ExperimentResult, get_rt1, get_rt2, paper_scale
+
+
+def run_trie_comparison(n_addresses: int = 0) -> ExperimentResult:
+    """E11: all LPM structures side by side (Sec. 2.1 background)."""
+    result = ExperimentResult(
+        "E11",
+        "LPM structure comparison (Sec. 2.1 background): storage / build / "
+        "accesses / FE cycles",
+    )
+    if n_addresses <= 0:
+        n_addresses = 10_000 if paper_scale() else 2_500
+    rows = []
+    for table_name, table in (("RT_1", get_rt1()), ("RT_2", get_rt2())):
+        for row in compare_structures(table, n_addresses=n_addresses):
+            rows.append({"table": table_name, **row})
+    result.rows = rows
+    headers = ["table", "name", "storage_kb", "build_ms", "mean_accesses",
+               "worst_accesses", "fe_cycles"]
+    result.rendered = render_table(
+        headers, [[r[h] for h in headers] for r in rows]
+    )
+    return result

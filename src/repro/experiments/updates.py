@@ -1,0 +1,146 @@
+"""E10 — routing-update sensitivity (extension of Sec. 3.2 / 5.1).
+
+The paper assumes every LR-cache is flushed after each routing-table update
+and sizes its simulation window (15–60 ms) to the observed update interval
+(20 updates/s on average, up to 100/s).  It notes the flushing policy "will
+not work effectively if the routing table is updated incrementally and very
+frequently" but never quantifies the cost.  This experiment does: mean
+lookup time as a function of update rate, at 40 Gbps and ψ = 8.
+
+Update rates translate to flush intervals in cycles: at 5 ns/cycle, 20/s →
+one flush per 10M cycles (beyond our reduced window — effectively no flush),
+100/s → per 2M cycles, and the "very frequent" regime the paper warns about
+is swept up to 50k/s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.tables import render_table
+from ..core.config import CacheConfig, SpalConfig
+from ..sim.spal_sim import SpalSimulator
+from .common import (
+    ExperimentResult,
+    default_packets_per_lc,
+    get_rt2,
+    scale_cache,
+    streams_for_trace,
+)
+
+#: Updates per second swept (paper: 20 average, 100 peak; beyond that is
+#: the regime the paper's flushing policy is said to break down in).
+UPDATE_RATES = (0, 20, 100, 1_000, 10_000, 50_000)
+
+CYCLES_PER_SECOND = int(1e9 / 5)  # 5 ns cycles
+
+
+def run_update_sensitivity(
+    trace: str = "D_75",
+    n_lcs: int = 8,
+    cache_blocks: int = 4096,
+    packets_per_lc: Optional[int] = None,
+) -> ExperimentResult:
+    """E10: mean lookup time versus routing-update (flush) rate."""
+    result = ExperimentResult(
+        "E10",
+        f"Mean lookup time vs routing-update rate ({trace}, psi={n_lcs}; "
+        "flush-on-update per paper Sec. 3.2)",
+    )
+    table = get_rt2()
+    n = packets_per_lc if packets_per_lc is not None else default_packets_per_lc()
+    beta = scale_cache(cache_blocks)
+    rows: List[Dict[str, object]] = []
+    for rate in UPDATE_RATES:
+        config = SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=beta))
+        sim = SpalSimulator(table, config)
+        streams = streams_for_trace(trace, n_lcs, n)
+        # Horizon estimate: mean interarrival 10 cycles at 40 Gbps.
+        horizon = n * 10
+        flushes = []
+        if rate > 0:
+            interval = CYCLES_PER_SECOND // rate
+            flushes = list(range(interval, horizon, interval))
+        run = sim.run(
+            streams,
+            flush_cycles=flushes,
+            warmup_packets=n // 10,
+            name=f"updates={rate}/s",
+        )
+        rows.append(
+            {
+                "updates_per_s": rate,
+                "flushes_in_window": len(flushes),
+                "mean_cycles": round(run.mean_lookup_cycles, 3),
+                "hit_rate": round(run.overall_hit_rate, 4),
+            }
+        )
+    result.rows = rows
+    result.rendered = render_table(
+        ["updates_per_s", "flushes_in_window", "mean_cycles", "hit_rate"],
+        [[r[k] for k in ("updates_per_s", "flushes_in_window", "mean_cycles",
+                         "hit_rate")] for r in rows],
+    )
+    return result
+
+
+def run_invalidation_comparison(
+    trace: str = "D_75",
+    n_lcs: int = 8,
+    cache_blocks: int = 4096,
+    packets_per_lc: Optional[int] = None,
+) -> ExperimentResult:
+    """E10b — full flush (paper) vs selective invalidation (extension).
+
+    At each update rate, the flush policy drops every LR-cache entry while
+    selective invalidation drops only the entries the updated prefix
+    covers (drawn from a realistic churn-skewed update stream).  Selective
+    invalidation keeps the hit rate — and therefore SPAL's speedup —
+    roughly flat into the "very frequent update" regime the paper's
+    Sec. 3.2 caveat concerns.
+    """
+    from ..routing.updates import generate_updates
+
+    result = ExperimentResult(
+        "E10b",
+        f"Flush vs selective invalidation under update load ({trace}, psi={n_lcs})",
+    )
+    table = get_rt2()
+    n = packets_per_lc if packets_per_lc is not None else default_packets_per_lc()
+    beta = scale_cache(cache_blocks)
+    horizon = n * 10
+    rows: List[Dict[str, object]] = []
+    for rate in (1_000, 10_000, 50_000):
+        interval = CYCLES_PER_SECOND // rate
+        cycles = list(range(interval, horizon, interval))
+        updates = list(generate_updates(table, len(cycles), seed=rate))
+        for policy in ("flush", "selective"):
+            config = SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=beta))
+            sim = SpalSimulator(table, config)
+            streams = streams_for_trace(trace, n_lcs, n)
+            kwargs = {}
+            if policy == "flush":
+                kwargs["flush_cycles"] = cycles
+            else:
+                kwargs["update_events"] = [
+                    (t, u.prefix) for t, u in zip(cycles, updates)
+                ]
+            run = sim.run(
+                streams, warmup_packets=n // 10,
+                name=f"{policy}@{rate}", **kwargs,
+            )
+            rows.append(
+                {
+                    "updates_per_s": rate,
+                    "policy": policy,
+                    "mean_cycles": round(run.mean_lookup_cycles, 3),
+                    "hit_rate": round(run.overall_hit_rate, 4),
+                }
+            )
+    result.rows = rows
+    result.rendered = render_table(
+        ["updates_per_s", "policy", "mean_cycles", "hit_rate"],
+        [[r[k] for k in ("updates_per_s", "policy", "mean_cycles",
+                         "hit_rate")] for r in rows],
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Routing-table substrate: prefixes, tables, synthetic BGP generators."""
+
+from .prefix import IPV4_WIDTH, IPV6_WIDTH, WILDCARD, Prefix, format_ipv4, parse_ipv4
+from .table import NO_ROUTE, NextHop, RoutingTable
+from .synthetic import (
+    RT1_PROFILE,
+    RT1_SIZE,
+    RT2_PROFILE,
+    RT2_SIZE,
+    TableProfile,
+    addresses_matching,
+    generate_table,
+    make_rt1,
+    make_rt2,
+    random_small_table,
+)
+from .ipv6 import IPV6_TIERS, ipv6_addresses_matching, make_ipv6_table
+from .aggregate import aggregate_table, aggregation_ratio
+from .updates import RouteUpdate, UpdateMix, generate_updates
+from . import distributions, textio
+
+__all__ = [
+    "IPV4_WIDTH",
+    "IPV6_WIDTH",
+    "WILDCARD",
+    "Prefix",
+    "format_ipv4",
+    "parse_ipv4",
+    "NO_ROUTE",
+    "NextHop",
+    "RoutingTable",
+    "TableProfile",
+    "RT1_PROFILE",
+    "RT2_PROFILE",
+    "RT1_SIZE",
+    "RT2_SIZE",
+    "generate_table",
+    "make_rt1",
+    "make_rt2",
+    "random_small_table",
+    "addresses_matching",
+    "IPV6_TIERS",
+    "make_ipv6_table",
+    "ipv6_addresses_matching",
+    "RouteUpdate",
+    "UpdateMix",
+    "generate_updates",
+    "aggregate_table",
+    "aggregation_ratio",
+    "distributions",
+    "textio",
+]

@@ -1,0 +1,97 @@
+"""Empirical prefix-length distributions for synthetic BGP tables.
+
+The SPAL paper cites two properties of backbone routing tables (Sec. 3.1 and
+Sec. 2.2): more than 83% of prefixes are no longer than 24 bits, length-24
+prefixes account for roughly half of all prefixes, and a non-trivial tail of
+length-32 host routes exists (which defeats address-range merging).  The
+histograms below encode those constraints; they are loosely shaped after the
+published AS1221 snapshots the paper references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+#: Prefix-length → relative weight for a large 2003-era backbone table
+#: (RT_2-like: AS1221 with ~140 k prefixes).
+BACKBONE_2003: Mapping[int, float] = {
+    8: 0.0015,
+    9: 0.0005,
+    10: 0.0008,
+    11: 0.0015,
+    12: 0.0035,
+    13: 0.0060,
+    14: 0.0115,
+    15: 0.0125,
+    16: 0.0800,
+    17: 0.0250,
+    18: 0.0450,
+    19: 0.0850,
+    20: 0.0700,
+    21: 0.0750,
+    22: 0.0900,
+    23: 0.0900,
+    24: 0.6500,
+    25: 0.0080,
+    26: 0.0100,
+    27: 0.0080,
+    28: 0.0060,
+    29: 0.0080,
+    30: 0.0120,
+    31: 0.0020,
+    32: 0.0150,
+}
+
+#: A mid-90s academic-network table (RT_1-like: FUNET with ~41 k prefixes):
+#: noticeably heavier at /16 and with a shorter sub-24 tail.
+FUNET_1997: Mapping[int, float] = {
+    8: 0.0020,
+    12: 0.0030,
+    13: 0.0040,
+    14: 0.0090,
+    15: 0.0110,
+    16: 0.1500,
+    17: 0.0260,
+    18: 0.0380,
+    19: 0.0600,
+    20: 0.0480,
+    21: 0.0520,
+    22: 0.0640,
+    23: 0.0680,
+    24: 0.4300,
+    25: 0.0050,
+    26: 0.0070,
+    27: 0.0050,
+    28: 0.0040,
+    29: 0.0050,
+    30: 0.0070,
+    32: 0.0090,
+}
+
+
+def normalize(histogram: Mapping[int, float]) -> Dict[int, float]:
+    """Return the histogram scaled to sum to 1.0."""
+    total = float(sum(histogram.values()))
+    if total <= 0:
+        raise ValueError("histogram weights must sum to a positive value")
+    return {length: weight / total for length, weight in histogram.items()}
+
+
+def sample_lengths(
+    histogram: Mapping[int, float],
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` prefix lengths i.i.d. from the histogram."""
+    norm = normalize(histogram)
+    lengths = np.array(sorted(norm), dtype=np.int64)
+    probs = np.array([norm[int(l)] for l in lengths], dtype=np.float64)
+    return rng.choice(lengths, size=count, p=probs)
+
+
+def share_at_most(histogram: Mapping[int, float], max_length: int) -> float:
+    """Fraction of prefixes with length <= ``max_length``."""
+    norm = normalize(histogram)
+    return sum(w for length, w in norm.items() if length <= max_length)

@@ -1,0 +1,83 @@
+"""Synthetic IPv6 routing tables (the paper's "feasibly applicable to IPv6").
+
+IPv6 BGP tables concentrate in global-unicast space (2000::/3) with strong
+prefix-length tiers: /32 (LIR allocations), /48 (site delegations) and /64
+(subnets), plus a sparse short-prefix backbone layer.  The generator mirrors
+that structure so partitioning and trie experiments exercise a realistic
+128-bit bit-value distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from .prefix import IPV6_WIDTH, Prefix
+from .table import RoutingTable
+
+#: Default prefix-length tiers for a 2000s-era IPv6 table.
+IPV6_TIERS: Mapping[int, float] = {
+    16: 0.01,
+    20: 0.01,
+    24: 0.02,
+    28: 0.03,
+    32: 0.40,
+    40: 0.05,
+    48: 0.35,
+    56: 0.03,
+    64: 0.10,
+}
+
+
+def make_ipv6_table(
+    n_prefixes: int,
+    seed: int = 0,
+    tiers: Optional[Mapping[int, float]] = None,
+    next_hop_count: int = 32,
+    include_default: bool = True,
+) -> RoutingTable:
+    """A synthetic IPv6 table rooted in 2000::/3.
+
+    Deterministic given ``seed``; every prefix is distinct.
+    """
+    if n_prefixes < 0:
+        raise ValueError("n_prefixes must be non-negative")
+    rng = np.random.default_rng(seed)
+    table = RoutingTable(width=IPV6_WIDTH)
+    if include_default:
+        table.update(Prefix.default(IPV6_WIDTH), 0)
+    tiers = dict(tiers or IPV6_TIERS)
+    lengths = np.array(sorted(tiers), dtype=np.int64)
+    probs = np.array([tiers[int(l)] for l in lengths], dtype=np.float64)
+    probs /= probs.sum()
+    target = n_prefixes + int(include_default)
+    while len(table) < target:
+        length = int(rng.choice(lengths, p=probs))
+        # 2000::/3 prefix plus random allocation bits.
+        value = (0b001 << 125) | (int.from_bytes(rng.bytes(16), "big") >> 3)
+        mask = ((1 << length) - 1) << (IPV6_WIDTH - length)
+        prefix = Prefix(value & mask, length, IPV6_WIDTH)
+        if table.get(prefix) is None:
+            table.add(prefix, int(rng.integers(1, next_hop_count + 1)))
+    return table
+
+
+def ipv6_addresses_matching(
+    table: RoutingTable, count: int, seed: int = 0
+) -> list[int]:
+    """Random addresses covered by the table (list of Python ints —
+    128-bit values exceed numpy integer dtypes)."""
+    rng = np.random.default_rng(seed)
+    prefixes = table.prefixes()
+    out = []
+    for _ in range(count):
+        prefix = prefixes[int(rng.integers(0, len(prefixes)))]
+        host_bits = prefix.width - prefix.length
+        host = (
+            int.from_bytes(rng.bytes(16), "big") & ((1 << host_bits) - 1)
+            if host_bits
+            else 0
+        )
+        out.append(prefix.value | host)
+    return out

@@ -1,0 +1,193 @@
+"""IP prefixes of arbitrary bit width (IPv4 = 32, IPv6 = 128).
+
+A :class:`Prefix` is an immutable ``(value, length, width)`` triple where
+``value`` holds the network bits left-aligned in a ``width``-bit integer and
+all host bits are zero.  Bit positions follow the paper's convention: ``b0``
+is the most-significant (leftmost) bit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from ..errors import PrefixError
+
+IPV4_WIDTH = 32
+IPV6_WIDTH = 128
+
+#: Sentinel returned by :meth:`Prefix.bit` for positions past the prefix
+#: length — the paper writes these as "*" (wildcard) bits.
+WILDCARD = -1
+
+
+class Prefix:
+    """An immutable IP prefix.
+
+    Parameters
+    ----------
+    value:
+        Integer holding the network bits left-aligned within ``width`` bits.
+        Host bits (the ``width - length`` low bits) must be zero.
+    length:
+        Prefix length in bits, ``0 <= length <= width``.
+    width:
+        Address width in bits (32 for IPv4, 128 for IPv6).
+    """
+
+    __slots__ = ("value", "length", "width", "_hash")
+
+    def __init__(self, value: int, length: int, width: int = IPV4_WIDTH):
+        if width <= 0:
+            raise PrefixError(f"width must be positive, got {width}")
+        if not 0 <= length <= width:
+            raise PrefixError(f"length {length} out of range [0, {width}]")
+        if not 0 <= value < (1 << width):
+            raise PrefixError(f"value {value:#x} does not fit in {width} bits")
+        host_mask = (1 << (width - length)) - 1
+        if value & host_mask:
+            raise PrefixError(
+                f"host bits of {value:#x}/{length} are not zero (width {width})"
+            )
+        self.value = value
+        self.length = length
+        self.width = width
+        self._hash = hash((value, length, width))
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str, width: int = IPV4_WIDTH) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (IPv4) or ``"<bits>*"`` binary notation.
+
+        Binary notation is the paper's: a string of 0/1 characters optionally
+        followed by ``*``, e.g. ``"101*"`` is value ``0b101`` left-aligned
+        with length 3.
+        """
+        text = text.strip()
+        if not text:
+            raise PrefixError("empty prefix string")
+        if set(text) <= {"0", "1", "*"}:
+            bits = text.rstrip("*")
+            if "*" in bits:
+                raise PrefixError(f"'*' may only end a binary prefix: {text!r}")
+            length = len(bits)
+            if length > width:
+                raise PrefixError(f"{text!r} longer than width {width}")
+            value = int(bits, 2) << (width - length) if bits else 0
+            return cls(value, length, width)
+        if "/" not in text:
+            raise PrefixError(f"missing '/length' in {text!r}")
+        addr, _, lenstr = text.partition("/")
+        try:
+            length = int(lenstr)
+        except ValueError as exc:
+            raise PrefixError(f"bad prefix length in {text!r}") from exc
+        value = parse_ipv4(addr) if width == IPV4_WIDTH else int(addr, 16)
+        # Zero the host bits rather than erroring: table dumps routinely
+        # contain addresses with host bits set.
+        if not 0 <= length <= width:
+            raise PrefixError(f"length {length} out of range [0, {width}]")
+        mask = ((1 << length) - 1) << (width - length) if length else 0
+        return cls(value & mask, length, width)
+
+    @classmethod
+    def default(cls, width: int = IPV4_WIDTH) -> "Prefix":
+        """The zero-length default route ``0.0.0.0/0``."""
+        return cls(0, 0, width)
+
+    # -- bit access ------------------------------------------------------
+
+    def bit(self, position: int) -> int:
+        """Bit ``b<position>`` (0 = leftmost), or :data:`WILDCARD` if the
+        position lies beyond the prefix length."""
+        if not 0 <= position < self.width:
+            raise PrefixError(f"bit position {position} out of range")
+        if position >= self.length:
+            return WILDCARD
+        return (self.value >> (self.width - 1 - position)) & 1
+
+    def bits(self) -> Iterator[int]:
+        """Iterate the defined (non-wildcard) bits, most significant first."""
+        for i in range(self.length):
+            yield (self.value >> (self.width - 1 - i)) & 1
+
+    # -- relations -------------------------------------------------------
+
+    def matches(self, address: int) -> bool:
+        """True if ``address`` (a ``width``-bit integer) lies in this prefix."""
+        shift = self.width - self.length
+        return (address >> shift) == (self.value >> shift)
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        if other.width != self.width or other.length < self.length:
+            return False
+        return self.matches(other.value)
+
+    def first_address(self) -> int:
+        return self.value
+
+    def last_address(self) -> int:
+        return self.value | ((1 << (self.width - self.length)) - 1)
+
+    def extended(self, bit: int) -> "Prefix":
+        """The prefix one bit longer, with ``bit`` appended."""
+        if self.length >= self.width:
+            raise PrefixError("cannot extend a full-length prefix")
+        value = self.value | (bit << (self.width - 1 - self.length))
+        return Prefix(value, self.length + 1, self.width)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Prefix)
+            and self.value == other.value
+            and self.length == other.length
+            and self.width == other.width
+        )
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return (self.value, self.length) < (other.value, other.length)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.width == IPV4_WIDTH:
+            return f"Prefix({format_ipv4(self.value)}/{self.length})"
+        return f"Prefix({self.value:#x}/{self.length}, width={self.width})"
+
+    def __str__(self) -> str:
+        if self.width == IPV4_WIDTH:
+            return f"{format_ipv4(self.value)}/{self.length}"
+        return f"{self.value:#x}/{self.length}"
+
+    def to_binary(self) -> str:
+        """Paper-style binary notation, e.g. ``"101*"``."""
+        body = "".join(str(b) for b in self.bits())
+        return body + "*" if self.length < self.width else body
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 into a 32-bit integer."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise PrefixError(f"bad IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise PrefixError(f"bad IPv4 octet {part!r} in {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise PrefixError(f"IPv4 octet {octet} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@lru_cache(maxsize=4096)
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad."""
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))

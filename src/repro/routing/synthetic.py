@@ -1,0 +1,260 @@
+"""Seeded synthetic BGP routing tables standing in for the paper's snapshots.
+
+The paper evaluates on two tables it obtained externally: RT_1 (the FUNET
+table with 41,709 prefixes, from the LC-trie paper) and RT_2 (an AS1221
+snapshot with 140,838 prefixes).  Neither is available offline, so
+:func:`make_rt1` / :func:`make_rt2` generate tables with the statistical
+structure the partitioning and trie experiments depend on:
+
+* prefix-length histograms matching published distributions
+  (:mod:`repro.routing.distributions`);
+* hierarchical structure — a configurable fraction of prefixes are
+  *exceptions*, i.e. more-specific routes nested inside a covering
+  aggregate, which is what limits address-range merging (paper Sec. 2.2);
+* clustered high-order bits — allocations concentrate in a limited set of
+  /8 blocks as in real IPv4 space, so partition-bit selection faces a
+  realistically skewed bit-value distribution.
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from .distributions import BACKBONE_2003, FUNET_1997, sample_lengths
+from .prefix import IPV4_WIDTH, Prefix
+from .table import RoutingTable
+
+#: Number of prefixes in the paper's tables.
+RT1_SIZE = 41_709
+RT2_SIZE = 140_838
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """Knobs controlling a synthetic table.
+
+    Attributes
+    ----------
+    size:
+        Number of prefixes to generate (before the optional default route).
+    length_histogram:
+        Prefix-length distribution to draw from.
+    exception_fraction:
+        Fraction of prefixes generated as more-specifics nested inside an
+        already-generated shorter prefix.
+    top_blocks:
+        Relative weights of the /8 blocks allocations are drawn from; real
+        IPv4 space is heavily clustered (most table prefixes fall in a few
+        dozen /8s).
+    next_hop_count:
+        Number of distinct next hops to assign round-robin-with-noise.
+    include_default:
+        Whether to add a 0.0.0.0/0 default route (hop 0).
+    """
+
+    size: int
+    length_histogram: Mapping[int, float]
+    exception_fraction: float = 0.25
+    top_blocks: Mapping[int, float] = field(
+        default_factory=lambda: _default_top_blocks()
+    )
+    next_hop_count: int = 16
+    include_default: bool = True
+
+
+def _default_top_blocks() -> Mapping[int, float]:
+    # Weighted /8 blocks: legacy class A/B space plus the 6x.x and 2xx.x
+    # swamp, mimicking the clustering visible in potaroo.net snapshots.
+    blocks = {}
+    for b in range(12, 25):          # 12/8 .. 24/8: sparse legacy space
+        blocks[b] = 0.4
+    for b in range(60, 70):          # 6x/8: dense modern allocations
+        blocks[b] = 2.0
+    for b in range(128, 172):        # class B space
+        blocks[b] = 1.0
+    for b in range(192, 224):        # class C swamp: the /24-heavy region
+        blocks[b] = 2.5
+    return blocks
+
+
+#: RT_1-like: the FUNET table used by the LC-trie paper.
+RT1_PROFILE = TableProfile(
+    size=RT1_SIZE,
+    length_histogram=FUNET_1997,
+    exception_fraction=0.18,
+    next_hop_count=32,
+)
+
+#: RT_2-like: the AS1221 snapshot (Jan 2003).
+RT2_PROFILE = TableProfile(
+    size=RT2_SIZE,
+    length_histogram=BACKBONE_2003,
+    exception_fraction=0.28,
+    next_hop_count=64,
+)
+
+
+def generate_table(
+    profile: TableProfile,
+    seed: int = 0,
+    width: int = IPV4_WIDTH,
+) -> RoutingTable:
+    """Generate a synthetic routing table per ``profile``.
+
+    The generator works in two passes.  Pass 1 creates standalone aggregates:
+    a random /8 block drawn from ``top_blocks`` followed by random bits up to
+    the sampled length.  Pass 2 creates exceptions: it picks a random
+    existing prefix and extends it with random bits to a greater sampled
+    length, producing the nested more-specifics that dominate real tables.
+    """
+    if width != IPV4_WIDTH:
+        raise ValueError("generate_table currently targets IPv4 width")
+    rng = np.random.default_rng(seed)
+    table = RoutingTable(width)
+
+    blocks = sorted(profile.top_blocks)
+    block_weights = np.array(
+        [profile.top_blocks[b] for b in blocks], dtype=np.float64
+    )
+    block_weights /= block_weights.sum()
+    blocks_arr = np.array(blocks, dtype=np.int64)
+
+    n_exceptions = int(profile.size * profile.exception_fraction)
+    n_aggregates = profile.size - n_exceptions
+
+    lengths = sample_lengths(profile.length_histogram, profile.size, rng)
+    # Aggregates get the shorter draws, exceptions the longer ones, so that
+    # nesting (parent shorter than child) is usually satisfiable.
+    lengths.sort()
+    agg_lengths = lengths[:n_aggregates]
+    exc_lengths = lengths[n_aggregates:]
+    rng.shuffle(agg_lengths)
+    rng.shuffle(exc_lengths)
+
+    parents: list[Prefix] = []
+
+    # Pass 1: standalone aggregates.
+    chosen_blocks = rng.choice(blocks_arr, size=n_aggregates, p=block_weights)
+    rand_bits = rng.integers(0, 1 << 24, size=n_aggregates, dtype=np.int64)
+    hops = rng.integers(1, profile.next_hop_count + 1, size=profile.size)
+    for i in range(n_aggregates):
+        length = int(agg_lengths[i])
+        value = (int(chosen_blocks[i]) << 24) | int(rand_bits[i])
+        mask = ((1 << length) - 1) << (width - length) if length else 0
+        prefix = Prefix(value & mask, length, width)
+        if table.get(prefix) is None:
+            table.add(prefix, int(hops[i]))
+            parents.append(prefix)
+
+    # Pass 2: exceptions nested under random existing prefixes.
+    if parents:
+        parent_idx = rng.integers(0, len(parents), size=n_exceptions)
+        extra_bits = rng.integers(0, 1 << 32, size=n_exceptions, dtype=np.int64)
+        for i in range(n_exceptions):
+            parent = parents[int(parent_idx[i])]
+            length = int(exc_lengths[i])
+            if length <= parent.length:
+                length = min(parent.length + 1 + int(extra_bits[i]) % 8, width)
+            add = int(extra_bits[i]) & ((1 << (length - parent.length)) - 1)
+            value = parent.value | (add << (width - length))
+            prefix = Prefix(value, length, width)
+            if table.get(prefix) is None:
+                table.add(prefix, int(hops[n_aggregates + i]))
+
+    # Top up to the exact requested size (collisions above lose a few).
+    top_up_rng = np.random.default_rng(seed + 1)
+    while len(table) < profile.size:
+        length = int(
+            sample_lengths(profile.length_histogram, 1, top_up_rng)[0]
+        )
+        block = int(top_up_rng.choice(blocks_arr, p=block_weights))
+        value = (block << 24) | int(top_up_rng.integers(0, 1 << 24))
+        mask = ((1 << length) - 1) << (width - length) if length else 0
+        prefix = Prefix(value & mask, length, width)
+        if table.get(prefix) is None:
+            table.add(prefix, int(top_up_rng.integers(1, profile.next_hop_count + 1)))
+
+    if profile.include_default:
+        table.update(Prefix.default(width), 0)
+    return table
+
+
+def make_rt1(seed: int = 1, size: Optional[int] = None) -> RoutingTable:
+    """The RT_1 stand-in (FUNET-like, 41,709 prefixes by default)."""
+    profile = RT1_PROFILE if size is None else _resized(RT1_PROFILE, size)
+    return generate_table(profile, seed=seed)
+
+
+def make_rt2(seed: int = 2, size: Optional[int] = None) -> RoutingTable:
+    """The RT_2 stand-in (AS1221-like, 140,838 prefixes by default)."""
+    profile = RT2_PROFILE if size is None else _resized(RT2_PROFILE, size)
+    return generate_table(profile, seed=seed)
+
+
+def _resized(profile: TableProfile, size: int) -> TableProfile:
+    return TableProfile(
+        size=size,
+        length_histogram=profile.length_histogram,
+        exception_fraction=profile.exception_fraction,
+        top_blocks=profile.top_blocks,
+        next_hop_count=profile.next_hop_count,
+        include_default=profile.include_default,
+    )
+
+
+def random_small_table(
+    n_prefixes: int,
+    seed: int = 0,
+    width: int = IPV4_WIDTH,
+    max_length: Optional[int] = None,
+    include_default: bool = True,
+) -> RoutingTable:
+    """A small uniform random table — handy for tests and examples.
+
+    Unlike :func:`generate_table` this draws lengths uniformly from
+    ``[1, max_length]`` and values uniformly, with no clustering.
+    """
+    rng = np.random.default_rng(seed)
+    if max_length is None:
+        max_length = width
+    table = RoutingTable(width)
+    if include_default:
+        table.update(Prefix.default(width), 0)
+    while len(table) < n_prefixes + int(include_default):
+        length = int(rng.integers(1, max_length + 1))
+        value = int(rng.integers(0, 1 << width, dtype=np.uint64 if width <= 64 else None)) \
+            if width <= 64 else int.from_bytes(rng.bytes(width // 8), "big")
+        mask = ((1 << length) - 1) << (width - length)
+        prefix = Prefix(value & mask, length, width)
+        if table.get(prefix) is None:
+            table.add(prefix, int(rng.integers(1, 17)))
+    return table
+
+
+def addresses_matching(
+    table: RoutingTable,
+    count: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Draw ``count`` addresses covered by the table's prefixes.
+
+    Each address picks a random route (uniform over routes) and randomizes
+    the host bits — the address stream used for access-count measurements
+    (experiment E4).
+    """
+    rng = np.random.default_rng(seed)
+    prefixes = table.prefixes()
+    idx = rng.integers(0, len(prefixes), size=count)
+    out = np.empty(count, dtype=np.uint64)
+    host_rand = rng.integers(0, 1 << 62, size=count, dtype=np.int64)
+    for i in range(count):
+        prefix = prefixes[int(idx[i])]
+        host_bits = prefix.width - prefix.length
+        host = int(host_rand[i]) & ((1 << host_bits) - 1) if host_bits else 0
+        out[i] = prefix.value | host
+    return out

@@ -1,0 +1,49 @@
+"""Plain-text load/save for routing tables.
+
+Format: one route per line, ``<prefix> <next_hop>``, where ``<prefix>`` is
+either dotted-quad ``a.b.c.d/len`` or the paper's binary ``10110*`` notation.
+Blank lines and ``#`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from ..errors import TableError
+from .prefix import IPV4_WIDTH, Prefix
+from .table import RoutingTable
+
+
+def loads(text: str, width: int = IPV4_WIDTH) -> RoutingTable:
+    """Parse a routing table from a string."""
+    table = RoutingTable(width)
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise TableError(f"line {lineno}: expected '<prefix> <hop>': {raw!r}")
+        prefix = Prefix.from_string(parts[0], width)
+        try:
+            hop = int(parts[1])
+        except ValueError as exc:
+            raise TableError(f"line {lineno}: bad next hop {parts[1]!r}") from exc
+        table.update(prefix, hop)
+    return table
+
+
+def dumps(table: RoutingTable) -> str:
+    """Serialize a routing table (sorted for stable diffs)."""
+    lines = [f"{prefix} {hop}" for prefix, hop in sorted(table.routes())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load(path: Union[str, Path], width: int = IPV4_WIDTH) -> RoutingTable:
+    return loads(Path(path).read_text(), width)
+
+
+def save(table: RoutingTable, path: Union[str, Path]) -> None:
+    Path(path).write_text(dumps(table))

@@ -1,0 +1,132 @@
+"""Synthetic BGP update streams.
+
+Backbone routing tables change continuously — the paper cites ~20 updates/s
+on average and up to 100/s.  Real update streams are dominated by *churn*:
+the same prefixes being re-announced with new attributes or flapping between
+announce/withdraw.  This generator produces a deterministic sequence of
+:class:`RouteUpdate` events over an existing table with a configurable
+announce/withdraw/modify mix and churn concentration (a small set of
+unstable prefixes producing most updates), suitable for driving
+:meth:`repro.core.SpalRouter.apply_update` and the simulator's invalidation
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .prefix import Prefix
+from .table import NextHop, RoutingTable
+
+
+@dataclass(frozen=True)
+class RouteUpdate:
+    """One table change.
+
+    ``next_hop is None`` means a withdrawal; otherwise an announcement
+    (insert or attribute change).
+    """
+
+    prefix: Prefix
+    next_hop: Optional[NextHop]
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.next_hop is None
+
+
+@dataclass(frozen=True)
+class UpdateMix:
+    """Relative frequencies of update kinds.
+
+    modify: re-announcement of an existing prefix with a new next hop
+    (the dominant kind in practice); withdraw/announce: flap pairs;
+    new: a genuinely new prefix appearing.
+    """
+
+    modify: float = 0.6
+    withdraw: float = 0.15
+    announce: float = 0.15
+    new: float = 0.10
+
+    def normalized(self) -> tuple:
+        total = self.modify + self.withdraw + self.announce + self.new
+        if total <= 0:
+            raise ValueError("update mix weights must sum to a positive value")
+        return (
+            self.modify / total,
+            self.withdraw / total,
+            self.announce / total,
+            self.new / total,
+        )
+
+
+def generate_updates(
+    table: RoutingTable,
+    count: int,
+    seed: int = 0,
+    mix: Optional[UpdateMix] = None,
+    churn_fraction: float = 0.05,
+    next_hop_count: int = 16,
+) -> Iterator[RouteUpdate]:
+    """Yield ``count`` updates against ``table``.
+
+    ``churn_fraction`` selects the share of prefixes that are *unstable*;
+    all withdraw/announce flapping and most modifications concentrate on
+    them, mirroring measured BGP churn skew.  The generator tracks
+    announced/withdrawn state so the stream is always applicable in order
+    (no withdrawal of an absent prefix, no duplicate announce).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0.0 < churn_fraction <= 1.0:
+        raise ValueError("churn_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    prefixes = [p for p in table.prefixes() if p.length > 0]
+    if not prefixes:
+        raise ValueError("table has no non-default prefixes to update")
+    n_churn = max(1, int(len(prefixes) * churn_fraction))
+    churn_idx = rng.choice(len(prefixes), size=n_churn, replace=False)
+    churn = [prefixes[int(i)] for i in churn_idx]
+    present = {p: True for p in churn}
+    p_modify, p_withdraw, p_announce, p_new = (mix or UpdateMix()).normalized()
+    width = table.width
+
+    def _random_new_prefix() -> Prefix:
+        parent = prefixes[int(rng.integers(0, len(prefixes)))]
+        length = min(parent.length + int(rng.integers(1, 9)), width)
+        extra = int(rng.integers(0, 1 << (length - parent.length)))
+        value = parent.value | (extra << (width - length))
+        return Prefix(value, length, width)
+
+    emitted = 0
+    while emitted < count:
+        roll = rng.random()
+        if roll < p_modify:
+            prefix = churn[int(rng.integers(0, n_churn))]
+            if not present.get(prefix, True):
+                continue
+            update = RouteUpdate(prefix, int(rng.integers(1, next_hop_count + 1)))
+        elif roll < p_modify + p_withdraw:
+            candidates = [p for p in churn if present.get(p, True)]
+            if not candidates:
+                continue
+            prefix = candidates[int(rng.integers(0, len(candidates)))]
+            present[prefix] = False
+            update = RouteUpdate(prefix, None)
+        elif roll < p_modify + p_withdraw + p_announce:
+            candidates = [p for p in churn if not present.get(p, True)]
+            if not candidates:
+                continue
+            prefix = candidates[int(rng.integers(0, len(candidates)))]
+            present[prefix] = True
+            update = RouteUpdate(prefix, int(rng.integers(1, next_hop_count + 1)))
+        else:
+            update = RouteUpdate(
+                _random_new_prefix(), int(rng.integers(1, next_hop_count + 1))
+            )
+        yield update
+        emitted += 1

@@ -1,0 +1,24 @@
+"""Trace-driven simulation: engine, SPAL simulator, baselines, results."""
+
+from .baselines import (
+    ConventionalSimulator,
+    LengthPartitionedRouter,
+    cache_only_simulator,
+    conventional_mean_cycles,
+    conventional_mpps,
+)
+from .engine import EventQueue, Resource
+from .results import SimulationResult
+from .spal_sim import SpalSimulator
+
+__all__ = [
+    "EventQueue",
+    "Resource",
+    "SimulationResult",
+    "SpalSimulator",
+    "ConventionalSimulator",
+    "LengthPartitionedRouter",
+    "cache_only_simulator",
+    "conventional_mean_cycles",
+    "conventional_mpps",
+]

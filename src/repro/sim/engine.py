@@ -1,0 +1,76 @@
+"""A minimal discrete-event engine.
+
+The paper simulates 5 ns cycles; simulating every cycle is O(duration), so
+this engine is event-driven instead — cycle semantics (integer timestamps,
+per-resource serialization) are preserved by the handlers, and cost is
+O(events log events).  This follows the guides' first rule: fix the
+algorithm before micro-optimizing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class EventQueue:
+    """A stable min-heap of (time, sequence) ordered events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self.now = 0
+        self.processed = 0
+
+    def schedule(self, time: int, handler: Callable[..., None], *args: Any) -> None:
+        """Schedule ``handler(*args)`` at cycle ``time`` (must not be in the
+        past)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}; current time is {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handler, args))
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue (optionally bounded); returns the final time."""
+        heap = self._heap
+        while heap:
+            time, _, handler, args = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self.now = time
+            handler(*args)
+            self.processed += 1
+            if max_events is not None and self.processed >= max_events:
+                break
+        return self.now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class Resource:
+    """A serially-reusable resource (FE, cache port, ...) with integer-cycle
+    occupancy; tracks busy time for utilization reporting."""
+
+    __slots__ = ("free_at", "busy_cycles")
+
+    def __init__(self) -> None:
+        self.free_at = 0
+        self.busy_cycles = 0
+
+    def acquire(self, now: int, duration: int) -> Tuple[int, int]:
+        """Reserve the resource for ``duration`` cycles starting no earlier
+        than ``now``; returns (start, end)."""
+        start = max(now, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_cycles += duration
+        return start, end
+
+    def utilization(self, horizon: int) -> float:
+        return self.busy_cycles / horizon if horizon > 0 else 0.0

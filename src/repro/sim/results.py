@@ -1,0 +1,110 @@
+"""Simulation result containers and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..traffic.packets import CYCLE_NS
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace-driven run.
+
+    ``latencies`` holds per-packet lookup times in cycles (completion −
+    arrival); the paper's headline metric is their mean.
+    """
+
+    name: str
+    n_lcs: int
+    latencies: np.ndarray
+    horizon_cycles: int
+    cache_stats: List[Dict[str, float]] = field(default_factory=list)
+    fe_lookups: List[int] = field(default_factory=list)
+    fe_utilization: List[float] = field(default_factory=list)
+    fabric_messages: int = 0
+    flushes: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def packets(self) -> int:
+        return int(len(self.latencies))
+
+    @property
+    def mean_lookup_cycles(self) -> float:
+        return float(self.latencies.mean()) if len(self.latencies) else 0.0
+
+    @property
+    def max_lookup_cycles(self) -> int:
+        return int(self.latencies.max()) if len(self.latencies) else 0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies, q)) if len(self.latencies) else 0.0
+
+    @property
+    def mean_lookup_ns(self) -> float:
+        return self.mean_lookup_cycles * CYCLE_NS
+
+    @property
+    def lookups_per_second_per_lc(self) -> float:
+        """The paper's throughput derivation: 1 / mean lookup time."""
+        mean_ns = self.mean_lookup_ns
+        return 1e9 / mean_ns if mean_ns > 0 else 0.0
+
+    @property
+    def router_mpps(self) -> float:
+        """Aggregate router forwarding rate in million packets/second —
+        the paper's derivation (ψ / mean lookup time)."""
+        return self.lookups_per_second_per_lc * self.n_lcs / 1e6
+
+    @property
+    def measured_mpps(self) -> float:
+        """Throughput actually sustained over the simulated horizon
+        (total packets / simulated seconds) — bounded by the offered load,
+        unlike :attr:`router_mpps` which extrapolates from latency."""
+        if self.horizon_cycles <= 0:
+            return 0.0
+        seconds = self.horizon_cycles * CYCLE_NS * 1e-9
+        return self.packets / seconds / 1e6
+
+    @property
+    def overall_hit_rate(self) -> float:
+        if not self.cache_stats:
+            return 0.0
+        lookups = sum(s.get("lookups", 0) for s in self.cache_stats)
+        if not lookups:
+            return 0.0
+        served = sum(
+            s.get("hits", 0) + s.get("waiting_hits", 0) + s.get("victim_hits", 0)
+            for s in self.cache_stats
+        )
+        return served / lookups
+
+    def latency_timeline(self, n_windows: int = 20) -> List[float]:
+        """Mean latency per completion-order window — shows warmup decay
+        and flush spikes (packets are appended in completion order)."""
+        if n_windows <= 0:
+            raise ValueError("n_windows must be positive")
+        n = len(self.latencies)
+        if n == 0:
+            return []
+        edges = np.linspace(0, n, n_windows + 1, dtype=np.int64)
+        out = []
+        for lo, hi in zip(edges, edges[1:]):
+            if hi > lo:
+                out.append(float(self.latencies[lo:hi].mean()))
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "packets": self.packets,
+            "mean_cycles": round(self.mean_lookup_cycles, 3),
+            "p99_cycles": round(self.percentile(99), 1),
+            "max_cycles": self.max_lookup_cycles,
+            "hit_rate": round(self.overall_hit_rate, 4),
+            "router_mpps": round(self.router_mpps, 1),
+            "fabric_messages": self.fabric_messages,
+        }

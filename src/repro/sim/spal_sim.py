@@ -1,0 +1,454 @@
+"""Trace-driven cycle-accurate simulation of a SPAL router (Sec. 5.1).
+
+The simulator reproduces the lookup flow of Fig. 2 with the paper's timing
+model:
+
+* 5 ns cycle; at most one packet probes an LR-cache per cycle per LC
+  (the cache port is a serialized resource);
+* an LR-cache hit delivers the result the following cycle;
+* a miss reserves a waiting (W=1) entry, then either queues on the local FE
+  (``fe_lookup_cycles`` per lookup, serialized) or crosses the switching
+  fabric to the home LC, where the flow repeats;
+* replies traverse the fabric back, fill the reserved entry (M=REM) and
+  release any packets parked on its waiting list;
+* routing-table updates flush every LR-cache.
+
+Implementation is event-driven over :class:`repro.sim.engine.EventQueue`;
+all integer-cycle semantics (port/FE serialization, fabric latency and port
+contention) are enforced by :class:`Resource` and the fabric model, so the
+event heap only visits cycles where something happens.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.config import SpalConfig
+from ..core.lr_cache import LOC, REM, LRCache
+from ..core.partition import PartitionPlan, partition_table
+from ..errors import SimulationError
+from ..routing.table import RoutingTable
+from ..tries.reference import HashReferenceMatcher
+from ..traffic.packets import arrival_times
+from .engine import EventQueue, Resource
+from .results import SimulationResult
+
+
+class _Packet:
+    """One in-flight lookup request."""
+
+    __slots__ = (
+        "dest",
+        "arrival_lc",
+        "arrival_time",
+        "complete_time",
+        "entry",
+        "_home_entry",
+        "measured",
+    )
+
+    def __init__(self, dest: int, arrival_lc: int, arrival_time: int):
+        self.dest = dest
+        self.arrival_lc = arrival_lc
+        self.arrival_time = arrival_time
+        self.complete_time = -1
+        self.entry = None        # reserved LR-cache entry at the arrival LC
+        self._home_entry = None  # reserved entry at the home LC (remote flow)
+        self.measured = True     # False during the warmup window
+
+
+class _RemoteWaiter:
+    """A remote request parked on a waiting entry at the home LC."""
+
+    __slots__ = ("packet",)
+
+    def __init__(self, packet: _Packet):
+        self.packet = packet
+
+
+class SpalSimulator:
+    """Cycle-level simulator for one SPAL router configuration.
+
+    Parameters
+    ----------
+    table:
+        The full routing table (partitioned internally per ``config``).
+    config:
+        Router shape; ``config.cache=None`` simulates partitioning without
+        LR-caches.
+    partitioned:
+        When False, every packet is homed at its arrival LC over the whole
+        table — the cache-only baseline of ref. [6] in the paper.
+    verify:
+        When True, every FE result is checked against a whole-table oracle
+        (a dynamic assertion of the partition-preserving-LPM invariant);
+        costs one extra hash lookup per FE request.
+    """
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        config: Optional[SpalConfig] = None,
+        partitioned: bool = True,
+        verify: bool = False,
+    ):
+        self.config = config or SpalConfig()
+        self.config.validate()
+        self.table = table
+        self.partitioned = partitioned
+        if partitioned:
+            self.plan: Optional[PartitionPlan] = partition_table(
+                table,
+                self.config.n_lcs,
+                bits=self.config.partition_bits,
+                pattern_oversubscription=self.config.pattern_oversubscription,
+                replicas=self.config.replicas,
+            )
+            self._matchers = [
+                HashReferenceMatcher(t) for t in self.plan.tables
+            ]
+        else:
+            self.plan = None
+            shared = HashReferenceMatcher(table)
+            self._matchers = [shared] * self.config.n_lcs
+        n = self.config.n_lcs
+        self.caches: List[Optional[LRCache]] = []
+        for i in range(n):
+            if self.config.cache is None:
+                self.caches.append(None)
+            else:
+                c = self.config.cache
+                self.caches.append(
+                    LRCache(
+                        n_blocks=c.n_blocks,
+                        associativity=c.associativity,
+                        mix=c.mix,
+                        policy=c.policy,
+                        victim_blocks=c.victim_blocks,
+                        policy_seed=i,
+                        index=c.index,
+                    )
+                )
+        self.fabric = self.config.make_fabric()
+        self.queue = EventQueue()
+        self.cache_ports = [Resource() for _ in range(n)]
+        self.fes = [Resource() for _ in range(n)]
+        self.fe_lookups = [0] * n
+        #: Deepest FE request-queue backlog observed per LC, in requests
+        #: (Fig. 2's Request Queue occupancy — a router-sizing output).
+        self.max_fe_backlog = [0] * n
+        self.completed: List[_Packet] = []
+        self.flushes = 0
+        self._oracle = HashReferenceMatcher(table) if verify else None
+        # Pre-computed control-bit home mapping for speed.
+        if partitioned and self.plan is not None:
+            self._home = self.plan.home_lc
+        else:
+            self._home = None
+
+    # -- event handlers ------------------------------------------------------
+
+    def _transfer(self, src: int, dst: int, when: int) -> int:
+        """A fabric transfer including FIL processing on both sides
+        (Outgoing Queue at the source, Incoming Queue at the destination,
+        per Fig. 2)."""
+        fil = self.config.fil_overhead_cycles
+        return self.fabric.transfer(src, dst, when + fil) + fil
+
+    def _home_of(self, dest: int, arrival_lc: int) -> int:
+        if self._home is None:
+            return arrival_lc
+        return self._home(dest)
+
+    def _arrive(self, pkt: _Packet, lc: int) -> None:
+        """Packet header reaches the LR-cache stage of LC ``lc``."""
+        now = self.queue.now
+        cache = self.caches[lc]
+        if cache is None:
+            self._dispatch(pkt, lc, now)
+            return
+        start, _ = self.cache_ports[lc].acquire(now, 1)
+        if start > now:
+            self.queue.schedule(start, self._probe, pkt, lc)
+            # acquire() already reserved [start, start+1); undo the double
+            # booking by noting _probe will not re-acquire.
+        else:
+            self._probe_at(pkt, lc, now)
+
+    def _probe(self, pkt: _Packet, lc: int) -> None:
+        self._probe_at(pkt, lc, self.queue.now)
+
+    def _probe_at(self, pkt: _Packet, lc: int, now: int) -> None:
+        cache = self.caches[lc]
+        assert cache is not None
+        entry = cache.probe(pkt.dest)
+        if entry is not None:
+            if entry.waiting:
+                entry.waiters.append(pkt)
+            else:
+                self._complete(pkt, now + 1)
+            return
+        self._miss(pkt, lc, now)
+
+    def _miss(self, pkt: _Packet, lc: int, now: int) -> None:
+        cache = self.caches[lc]
+        home = self._home_of(pkt.dest, lc)
+        local = home == lc
+        if cache is not None:
+            record = local or (
+                self.config.early_recording and self.config.cache_remote_results
+            )
+            if record:
+                pkt.entry = cache.allocate(pkt.dest, LOC if local else REM)
+        self._dispatch(pkt, lc, now, home)
+
+    def _dispatch(
+        self, pkt: _Packet, lc: int, now: int, home: Optional[int] = None
+    ) -> None:
+        if home is None:
+            home = self._home_of(pkt.dest, lc)
+        if home == lc:
+            self._fe_request(pkt, lc, now, origin=None)
+        else:
+            arrive = self._transfer(lc, home, now + 1)
+            self.queue.schedule(arrive, self._remote_request, pkt, home)
+
+    def _fe_request(
+        self, pkt: _Packet, lc: int, now: int, origin: Optional[int]
+    ) -> None:
+        """Queue a longest-prefix-matching lookup on LC ``lc``'s FE.
+
+        ``origin`` is None for a packet physically at ``lc``; otherwise the
+        arrival LC awaiting a reply (used only when the home cache bypassed
+        allocation and no entry tracks the waiters).
+        """
+        start, done = self.fes[lc].acquire(now + 1, self.config.fe_lookup_cycles)
+        self.fe_lookups[lc] += 1
+        backlog = (start - (now + 1)) // self.config.fe_lookup_cycles
+        if backlog > self.max_fe_backlog[lc]:
+            self.max_fe_backlog[lc] = backlog
+        self.queue.schedule(done, self._fe_done, pkt, lc, origin)
+
+    def _fe_done(self, pkt: _Packet, lc: int, origin: Optional[int]) -> None:
+        now = self.queue.now
+        hop = self._matchers[lc].lookup(pkt.dest)
+        if self._oracle is not None:
+            expected = self._oracle.lookup(pkt.dest)
+            if hop != expected:
+                raise SimulationError(
+                    f"partition invariant violated at LC {lc}: "
+                    f"lookup({pkt.dest:#x}) = {hop}, whole table says {expected}"
+                )
+        entry = pkt.entry if origin is None else None
+        # For remote-request flows the home-side entry rides on the packet's
+        # home_entry attribute set in _remote_request; see below.
+        home_entry = pkt._home_entry
+        target = home_entry if home_entry is not None else entry
+        if target is not None:
+            waiters = self.caches[lc].fill(target, hop)  # type: ignore[union-attr]
+            if home_entry is not None:
+                pkt._home_entry = None
+            self._release(waiters, lc, hop, now)
+        if origin is not None:
+            # Bypassed allocation at the home LC: reply directly.
+            arrive = self._transfer(lc, origin, now + 1)
+            self.queue.schedule(arrive, self._reply, pkt, hop)
+        elif target is None or target is entry:
+            # The packet that triggered this FE lookup is local to lc.
+            if pkt.arrival_lc == lc:
+                self._complete(pkt, now + 1)
+            else:
+                arrive = self._transfer(lc, pkt.arrival_lc, now + 1)
+                self.queue.schedule(arrive, self._reply, pkt, hop)
+
+    def _release(self, waiters: list, lc: int, hop: int, now: int) -> None:
+        """Serve everything parked on a just-filled entry at LC ``lc``."""
+        for waiter in waiters:
+            if isinstance(waiter, _RemoteWaiter):
+                wpkt = waiter.packet
+                arrive = self._transfer(lc, wpkt.arrival_lc, now + 1)
+                self.queue.schedule(arrive, self._reply, wpkt, hop)
+            else:
+                self._complete(waiter, now + 1)
+
+    def _remote_request(self, pkt: _Packet, home: int) -> None:
+        """A request arrives at its home LC over the fabric."""
+        now = self.queue.now
+        cache = self.caches[home]
+        if cache is None:
+            self._fe_request(pkt, home, now, origin=pkt.arrival_lc)
+            return
+        start, _ = self.cache_ports[home].acquire(now, 1)
+        if start > now:
+            self.queue.schedule(start, self._remote_request_probe, pkt, home)
+        else:
+            self._remote_probe_at(pkt, home, now)
+
+    def _remote_request_probe(self, pkt: _Packet, home: int) -> None:
+        self._remote_probe_at(pkt, home, self.queue.now)
+
+    def _remote_probe_at(self, pkt: _Packet, home: int, now: int) -> None:
+        cache = self.caches[home]
+        assert cache is not None
+        entry = cache.probe(pkt.dest)
+        if entry is not None:
+            if entry.waiting:
+                entry.waiters.append(_RemoteWaiter(pkt))
+            else:
+                arrive = self._transfer(home, pkt.arrival_lc, now + 1)
+                self.queue.schedule(arrive, self._reply, pkt, entry.next_hop)
+            return
+        # Miss at the home LC: reserve a LOC entry, park the remote waiter
+        # on it, and run the FE.
+        home_entry = cache.allocate(pkt.dest, LOC)
+        if home_entry is None:
+            self._fe_request(pkt, home, now, origin=pkt.arrival_lc)
+            return
+        home_entry.waiters.append(_RemoteWaiter(pkt))
+        pkt._home_entry = home_entry  # type: ignore[attr-defined]
+        self._fe_request(pkt, home, now, origin=None)
+
+    def _reply(self, pkt: _Packet, hop: int) -> None:
+        """A lookup result returns to the arrival LC."""
+        now = self.queue.now
+        lc = pkt.arrival_lc
+        cache = self.caches[lc]
+        entry = pkt.entry
+        if cache is not None and self.config.cache_remote_results:
+            if entry is not None and entry.waiting:
+                waiters = cache.fill(entry, hop)
+                self._release(waiters, lc, hop, now)
+            elif entry is None and not self.config.early_recording:
+                cache.insert_complete(pkt.dest, hop, REM)
+        if pkt.complete_time < 0:
+            self._complete(pkt, now + 1)
+
+    def _complete(self, pkt: _Packet, when: int) -> None:
+        if pkt.complete_time >= 0:
+            return
+        pkt.complete_time = when
+        self.completed.append(pkt)
+
+    def _flush_all(self) -> None:
+        for cache in self.caches:
+            if cache is not None:
+                cache.flush()
+        self.flushes += 1
+
+    def _invalidate_prefix(self, prefix) -> None:
+        """Selective invalidation (the flush alternative) for one update."""
+        for cache in self.caches:
+            if cache is not None:
+                cache.invalidate_matching(prefix)
+        self.flushes += 1
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(
+        self,
+        streams: Sequence[np.ndarray],
+        speed_gbps: Union[int, Sequence[int]] = 40,
+        flush_cycles: Optional[Sequence[int]] = None,
+        update_events: Optional[Sequence[tuple]] = None,
+        warmup_packets: int = 0,
+        name: str = "spal",
+    ) -> SimulationResult:
+        """Run the router over per-LC destination streams.
+
+        ``streams[i]`` feeds LC ``i``; arrival times follow the paper's
+        interarrival windows for ``speed_gbps`` — a single rate for every
+        LC, or one rate per LC (line cards aggregate different external
+        links; Sec. 5 notes Cisco-style aggregation up to 10 Gbps per LC).
+        ``flush_cycles`` injects routing-update cache flushes at the given
+        cycles (the paper's policy); ``update_events`` is a sequence of
+        ``(cycle, prefix)`` pairs invalidated *selectively* instead — the
+        extension for frequent incremental updates.
+
+        ``warmup_packets`` excludes each LC's first packets from the
+        latency statistics (they are still simulated): the simulator starts
+        from stone-cold caches, which real traces never exhibit — their
+        opening packets already carry the trace's temporal locality.
+        """
+        if getattr(self, "_ran", False):
+            raise SimulationError(
+                "SpalSimulator instances are single-use (caches, fabric and "
+                "queues carry state); build a fresh simulator per run"
+            )
+        self._ran = True
+        if len(streams) != self.config.n_lcs:
+            raise SimulationError(
+                f"need {self.config.n_lcs} streams, got {len(streams)}"
+            )
+        if isinstance(speed_gbps, int):
+            speeds = [speed_gbps] * self.config.n_lcs
+        else:
+            speeds = list(speed_gbps)
+            if len(speeds) != self.config.n_lcs:
+                raise SimulationError(
+                    f"need {self.config.n_lcs} per-LC speeds, got {len(speeds)}"
+                )
+        total = 0
+        for lc, stream in enumerate(streams):
+            times = arrival_times(
+                len(stream), speed_gbps=speeds[lc], seed=1000 + lc
+            )
+            for i, (t, dest) in enumerate(zip(times, stream)):
+                pkt = _Packet(int(dest), lc, int(t))
+                pkt.measured = i >= warmup_packets
+                self.queue.schedule(int(t), self._arrive, pkt, lc)
+            total += len(stream)
+        if flush_cycles:
+            for t in flush_cycles:
+                self.queue.schedule(int(t), self._flush_all)
+        if update_events:
+            for t, prefix in update_events:
+                self.queue.schedule(int(t), self._invalidate_prefix, prefix)
+        horizon = self.queue.run()
+        if len(self.completed) != total:
+            raise SimulationError(
+                f"{total - len(self.completed)} packets never completed"
+            )
+        latencies = np.array(
+            [
+                p.complete_time - p.arrival_time
+                for p in self.completed
+                if p.measured
+            ],
+            dtype=np.int64,
+        )
+        if len(latencies) == 0:
+            raise SimulationError("warmup_packets left no measured packets")
+        cache_stats = []
+        for cache in self.caches:
+            if cache is None:
+                cache_stats.append({})
+            else:
+                s = cache.stats
+                cache_stats.append(
+                    {
+                        "lookups": s.lookups,
+                        "hits": s.hits,
+                        "waiting_hits": s.waiting_hits,
+                        "victim_hits": s.victim_hits,
+                        "misses": s.misses,
+                        "evictions": s.evictions,
+                        "bypasses": s.bypasses,
+                        "hit_rate": s.hit_rate,
+                    }
+                )
+        return SimulationResult(
+            name=name,
+            n_lcs=self.config.n_lcs,
+            latencies=latencies,
+            horizon_cycles=horizon,
+            cache_stats=cache_stats,
+            fe_lookups=list(self.fe_lookups),
+            fe_utilization=[
+                fe.utilization(horizon) for fe in self.fes
+            ],
+            fabric_messages=self.fabric.messages,
+            flushes=self.flushes,
+            extra={"max_fe_backlog": list(self.max_fe_backlog)},
+        )

@@ -1,0 +1,40 @@
+"""Traffic substrate: synthetic locality-controlled packet traces."""
+
+from .packets import (
+    CYCLE_NS,
+    INTERARRIVAL_WINDOWS,
+    MEAN_PACKET_BYTES,
+    MIN_PACKET_BYTES,
+    LinkSpec,
+    arrival_times,
+    packet_sizes,
+)
+from .profiles import PAPER_TRACES, all_trace_specs, trace_spec
+from .synthetic import (
+    FlowPopulation,
+    TraceSpec,
+    generate_router_streams,
+    generate_stream,
+)
+from .io import load_streams, save_streams
+from . import locality
+
+__all__ = [
+    "CYCLE_NS",
+    "INTERARRIVAL_WINDOWS",
+    "MEAN_PACKET_BYTES",
+    "MIN_PACKET_BYTES",
+    "LinkSpec",
+    "arrival_times",
+    "packet_sizes",
+    "PAPER_TRACES",
+    "trace_spec",
+    "all_trace_specs",
+    "TraceSpec",
+    "FlowPopulation",
+    "generate_stream",
+    "generate_router_streams",
+    "save_streams",
+    "load_streams",
+    "locality",
+]

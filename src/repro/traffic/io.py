@@ -1,0 +1,55 @@
+"""Persisting generated traces.
+
+Generated streams are deterministic, but long paper-scale runs benefit from
+caching them on disk; these helpers store per-LC destination streams as a
+single compressed ``.npz`` with a manifest of the generating parameters so
+stale files are detected instead of silently reused.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Mapping, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+def save_streams(
+    path: Union[str, Path],
+    streams: List[np.ndarray],
+    manifest: Mapping[str, object],
+) -> None:
+    """Write per-LC streams plus a JSON manifest to ``path`` (.npz)."""
+    path = Path(path)
+    arrays = {f"lc{i}": np.asarray(s, dtype=np.uint64) for i, s in enumerate(streams)}
+    arrays["_manifest"] = np.frombuffer(
+        json.dumps(dict(manifest), sort_keys=True).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_streams(
+    path: Union[str, Path],
+    expected_manifest: Mapping[str, object] | None = None,
+) -> List[np.ndarray]:
+    """Load streams; verifies the stored manifest when one is supplied."""
+    path = Path(path)
+    with np.load(path) as data:
+        stored = json.loads(bytes(data["_manifest"]).decode())
+        if expected_manifest is not None:
+            expected = json.loads(
+                json.dumps(dict(expected_manifest), sort_keys=True)
+            )
+            if stored != expected:
+                raise SimulationError(
+                    f"trace file {path} was generated with different "
+                    f"parameters: {stored} != {expected}"
+                )
+        lcs = sorted(
+            (k for k in data.files if k.startswith("lc")),
+            key=lambda k: int(k[2:]),
+        )
+        return [data[k] for k in lcs]

@@ -1,0 +1,80 @@
+"""Packet arrival processes (paper Sec. 5.1).
+
+The paper drives each LC at 10 or 40 Gbps with mean packet length 256 bytes
+(minimum 40 bytes) and a 5 ns cycle, which yields one packet every 6–74
+cycles (10 Gbps) or every 2–18 cycles (40 Gbps).  Interarrival gaps are drawn
+uniformly from those integer windows so the average offered load matches the
+line rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Cycle time (5 ns) and packet-size model from the paper.
+CYCLE_NS = 5.0
+MEAN_PACKET_BYTES = 256
+MIN_PACKET_BYTES = 40
+
+#: LC speed (Gbps) → inclusive interarrival window in cycles.
+INTERARRIVAL_WINDOWS: Dict[int, Tuple[int, int]] = {
+    40: (2, 18),
+    10: (6, 74),
+}
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One LC's external-link aggregate."""
+
+    speed_gbps: int = 40
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        try:
+            return INTERARRIVAL_WINDOWS[self.speed_gbps]
+        except KeyError:
+            raise SimulationError(
+                f"unsupported LC speed {self.speed_gbps} Gbps; "
+                f"supported: {sorted(INTERARRIVAL_WINDOWS)}"
+            ) from None
+
+    @property
+    def mean_interarrival_cycles(self) -> float:
+        low, high = self.window
+        return (low + high) / 2.0
+
+    @property
+    def offered_mpps(self) -> float:
+        """Offered load in million packets per second."""
+        return 1000.0 / (self.mean_interarrival_cycles * CYCLE_NS)
+
+
+def arrival_times(
+    n_packets: int,
+    speed_gbps: int = 40,
+    seed: int = 0,
+    start_cycle: int = 0,
+) -> np.ndarray:
+    """Cycle numbers of ``n_packets`` arrivals at one LC (int64 array)."""
+    if n_packets < 0:
+        raise SimulationError("n_packets must be non-negative")
+    low, high = LinkSpec(speed_gbps).window
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(low, high + 1, size=n_packets, dtype=np.int64)
+    return start_cycle + np.cumsum(gaps)
+
+
+def packet_sizes(n_packets: int, seed: int = 0) -> np.ndarray:
+    """Packet lengths with the paper's mean (256 B) and floor (40 B):
+    shifted exponential, clipped at a 1500 B MTU."""
+    rng = np.random.default_rng(seed)
+    sizes = MIN_PACKET_BYTES + rng.exponential(
+        MEAN_PACKET_BYTES - MIN_PACKET_BYTES, size=n_packets
+    )
+    return np.clip(sizes, MIN_PACKET_BYTES, 1500).astype(np.int64)

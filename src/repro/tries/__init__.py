@@ -1,0 +1,48 @@
+"""Longest-prefix-match structures: the paper's three tries plus comparators."""
+
+from .base import (
+    CODE_EXEC_NS,
+    CYCLE_NS,
+    SRAM_ACCESS_NS,
+    AccessCounter,
+    LongestPrefixMatcher,
+    check_matcher,
+    matching_cycles,
+    matching_time_ns,
+)
+from .binary_trie import BinaryTrie
+from .dp_trie import DPTrie
+from .gupta import Dir24_8
+from .lc_trie import LCTrie
+from .lulea import LuleaTrie
+from .multibit import MultibitTrie
+from .reference import HashReferenceMatcher
+from .reports import compare_structures, render_comparison
+from .stride_opt import internal_nodes_per_depth, nodes_per_depth, optimal_strides
+
+#: The three tries evaluated in the paper's Fig. 3, by short name.
+PAPER_TRIES = {"DP": DPTrie, "LL": LuleaTrie, "LC": LCTrie}
+
+__all__ = [
+    "AccessCounter",
+    "LongestPrefixMatcher",
+    "check_matcher",
+    "matching_cycles",
+    "matching_time_ns",
+    "CYCLE_NS",
+    "SRAM_ACCESS_NS",
+    "CODE_EXEC_NS",
+    "BinaryTrie",
+    "DPTrie",
+    "LuleaTrie",
+    "LCTrie",
+    "MultibitTrie",
+    "Dir24_8",
+    "HashReferenceMatcher",
+    "PAPER_TRIES",
+    "compare_structures",
+    "render_comparison",
+    "optimal_strides",
+    "nodes_per_depth",
+    "internal_nodes_per_depth",
+]

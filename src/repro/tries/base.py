@@ -1,0 +1,119 @@
+"""Common interface for longest-prefix-match structures.
+
+Every trie in this package implements :class:`LongestPrefixMatcher` and
+accounts two quantities the paper's evaluation consumes:
+
+* **storage** (:meth:`storage_bytes`) — the SRAM footprint of the structure
+  under an explicit per-node byte model (Fig. 3 / Sec. 4);
+* **memory accesses per lookup** — counted through an :class:`AccessCounter`
+  that every lookup routine charges once per dependent memory read
+  (Sec. 5.1: Lulea ≈6.2–6.6, DP trie ≈16 accesses per lookup).
+
+From accesses the FE matching time is derived exactly as the paper does:
+``time = accesses × SRAM_ACCESS_NS + CODE_EXEC_NS`` and
+``cycles = ceil(time / CYCLE_NS)``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from ..routing.prefix import Prefix
+from ..routing.table import NextHop, RoutingTable
+
+#: Timing constants from the paper (Sec. 5.1).
+CYCLE_NS = 5.0
+SRAM_ACCESS_NS = 12.0
+CODE_EXEC_NS = 120.0
+
+
+@dataclass
+class AccessCounter:
+    """Tally of memory accesses performed during lookups."""
+
+    lookups: int = 0
+    accesses: int = 0
+    max_accesses: int = 0
+    _current: int = field(default=0, repr=False)
+
+    def start(self) -> None:
+        self.lookups += 1
+        self._current = 0
+
+    def touch(self, n: int = 1) -> None:
+        """Charge ``n`` dependent memory reads to the current lookup."""
+        self.accesses += n
+        self._current += n
+
+    def finish(self) -> None:
+        if self._current > self.max_accesses:
+            self.max_accesses = self._current
+
+    @property
+    def mean_accesses(self) -> float:
+        return self.accesses / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.lookups = self.accesses = self.max_accesses = self._current = 0
+
+
+def matching_time_ns(mean_accesses: float) -> float:
+    """FE matching time per the paper's model (Sec. 5.1)."""
+    return mean_accesses * SRAM_ACCESS_NS + CODE_EXEC_NS
+
+
+def matching_cycles(mean_accesses: float) -> int:
+    """FE matching time in 5 ns cycles (≈40 for Lulea, ≈62 for DP trie)."""
+    return math.ceil(matching_time_ns(mean_accesses) / CYCLE_NS)
+
+
+class LongestPrefixMatcher(ABC):
+    """Abstract LPM structure built from a :class:`RoutingTable`."""
+
+    #: Human-readable short name used in figures ("DP", "LL", "LC", ...).
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self.counter = AccessCounter()
+
+    @abstractmethod
+    def lookup(self, address: int) -> NextHop:
+        """Longest-prefix match; returns :data:`NO_ROUTE` when nothing matches."""
+
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """SRAM footprint under this structure's byte model."""
+
+    def storage_kbytes(self) -> float:
+        return self.storage_bytes() / 1024.0
+
+    def measure(self, addresses: Iterable[int]) -> Tuple[float, int]:
+        """Run lookups over ``addresses``; return (mean, max) accesses."""
+        self.counter.reset()
+        for address in addresses:
+            self.lookup(int(address))
+        return self.counter.mean_accesses, self.counter.max_accesses
+
+
+def check_matcher(
+    matcher: LongestPrefixMatcher,
+    table: RoutingTable,
+    addresses: Iterable[int],
+) -> None:
+    """Assert the matcher agrees with the reference oracle (test helper)."""
+    for address in addresses:
+        address = int(address)
+        got = matcher.lookup(address)
+        want = table.lookup(address)
+        if got != want:
+            raise AssertionError(
+                f"{matcher.name} lookup({address:#x}) = {got}, oracle = {want}"
+            )
+
+
+def sorted_routes(table: RoutingTable) -> list[tuple[Prefix, NextHop]]:
+    """Routes sorted by (value, length): canonical build order for tries."""
+    return sorted(table.routes(), key=lambda r: (r[0].value, r[0].length))

@@ -1,0 +1,166 @@
+"""Uni-bit binary trie: the baseline LPM structure.
+
+One node per prefix bit; lookup walks the address bits remembering the last
+node carrying a route.  Supports incremental insert/delete, which the SPAL
+update path (Sec. 3.2: table updates 20–100×/s) uses.
+
+Storage model: each node is charged ``NODE_BYTES`` = two 4-byte child
+pointers plus a 2-byte next-hop field and a flag byte, rounded to 12 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import TrieError
+from ..routing.prefix import Prefix
+from ..routing.table import NO_ROUTE, NextHop, RoutingTable
+from .base import LongestPrefixMatcher
+
+NODE_BYTES = 12
+
+
+class _Node:
+    __slots__ = ("children", "next_hop", "has_route")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_Node]] = [None, None]
+        self.next_hop: NextHop = NO_ROUTE
+        self.has_route = False
+
+
+class BinaryTrie(LongestPrefixMatcher):
+    """Plain one-bit-at-a-time binary trie."""
+
+    name = "BIN"
+
+    def __init__(self, table: Optional[RoutingTable] = None, width: int = 32):
+        super().__init__()
+        self.width = table.width if table is not None else width
+        self.root = _Node()
+        self.node_count = 1
+        self.route_count = 0
+        if table is not None:
+            for prefix, hop in table.routes():
+                self.insert(prefix, hop)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
+        """Add or overwrite a route."""
+        if prefix.width != self.width:
+            raise TrieError(f"prefix width {prefix.width} != trie width {self.width}")
+        node = self.root
+        for bit in prefix.bits():
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+                self.node_count += 1
+            node = child
+        if not node.has_route:
+            self.route_count += 1
+        node.has_route = True
+        node.next_hop = next_hop
+
+    def delete(self, prefix: Prefix) -> NextHop:
+        """Remove a route; prunes now-empty branches."""
+        path: list[tuple[_Node, int]] = []
+        node = self.root
+        for bit in prefix.bits():
+            child = node.children[bit]
+            if child is None:
+                raise TrieError(f"no route for {prefix}")
+            path.append((node, bit))
+            node = child
+        if not node.has_route:
+            raise TrieError(f"no route for {prefix}")
+        hop = node.next_hop
+        node.has_route = False
+        node.next_hop = NO_ROUTE
+        # Prune childless, routeless tail nodes.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_route or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+            self.node_count -= 1
+        self.route_count -= 1
+        return hop
+
+    # -- queries -----------------------------------------------------------
+
+    def lookup(self, address: int) -> NextHop:
+        counter = self.counter
+        counter.start()
+        node = self.root
+        best = node.next_hop if node.has_route else NO_ROUTE
+        shift = self.width - 1
+        counter.touch()  # root read
+        while shift >= 0:
+            node = node.children[(address >> shift) & 1]  # type: ignore[assignment]
+            if node is None:
+                break
+            counter.touch()
+            if node.has_route:
+                best = node.next_hop
+            shift -= 1
+        counter.finish()
+        return best
+
+    def lookup_with_length(self, address: int) -> tuple[NextHop, int]:
+        """LPM returning (next_hop, matched prefix length); -1 length if none."""
+        node: Optional[_Node] = self.root
+        best = (NO_ROUTE, -1)
+        depth = 0
+        shift = self.width - 1
+        while node is not None:
+            if node.has_route:
+                best = (node.next_hop, depth)
+            if shift < 0:
+                break
+            node = node.children[(address >> shift) & 1]
+            shift -= 1
+            depth += 1
+        return best
+
+    def route_chain(self, address: int, max_length: int) -> list[tuple[int, NextHop]]:
+        """All routes of length ≤ ``max_length`` matching ``address``, as
+        (length, hop) pairs in increasing length order."""
+        out: list[tuple[int, NextHop]] = []
+        node: Optional[_Node] = self.root
+        depth = 0
+        shift = self.width - 1
+        while node is not None and depth <= max_length:
+            if node.has_route:
+                out.append((depth, node.next_hop))
+            if shift < 0:
+                break
+            node = node.children[(address >> shift) & 1]
+            shift -= 1
+            depth += 1
+        return out
+
+    def storage_bytes(self) -> int:
+        return self.node_count * NODE_BYTES
+
+    def __len__(self) -> int:
+        return self.route_count
+
+    def walk(self) -> Iterator[tuple[Prefix, NextHop]]:
+        """Yield all routes in lexicographic order."""
+        stack: list[tuple[_Node, int, int]] = [(self.root, 0, 0)]
+        out: list[tuple[_Node, int, int]] = []
+        while stack:
+            node, value, depth = stack.pop()
+            out.append((node, value, depth))
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(
+                        (child, value | (bit << (self.width - 1 - depth)), depth + 1)
+                    )
+        for node, value, depth in sorted(out, key=lambda t: (t[1], t[2])):
+            if node.has_route:
+                yield Prefix(value, depth, self.width), node.next_hop

@@ -1,0 +1,210 @@
+"""DP trie — a dynamic prefix trie after Doeringer, Karjoth and Nassehi,
+"Routing on Longest-Matching Prefixes" (IEEE/ACM ToN 1996).
+
+The SPAL paper uses the DP trie as its high-access-count comparator (≈16
+memory reads per lookup on a backbone table, Sec. 5.1) and charges 21 bytes
+per node (one index byte plus five 4-byte pointers, Sec. 4).
+
+This implementation is a path-compressed *prefix radix tree* with the DP
+trie's defining properties: fully dynamic insert/delete, one node per stored
+prefix or branch point, single-bit discrimination with skipped runs, and key
+verification at each visited node (skipped bits are not re-checked on the
+way down, so every node visit is charged as one memory access and carries a
+stored-key comparison).
+
+Structure invariants:
+
+* every node holds a :class:`Prefix`; a child's prefix strictly extends its
+  parent's;
+* the two children of a node differ in the bit at position
+  ``parent.prefix.length``;
+* a node either carries a route, or is a branch point with two children
+  (pass-through nodes are spliced out on delete).
+
+Lookup walks from the root while the node's prefix matches the address,
+remembering the deepest route seen; the first mismatching node terminates
+the search.  Correctness: any route matching the address lies on this walk,
+because its ancestors all match the address and child selection follows the
+address bits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import TrieError
+from ..routing.prefix import Prefix
+from ..routing.table import NO_ROUTE, NextHop, RoutingTable
+from .base import LongestPrefixMatcher
+
+NODE_BYTES = 21  # 1-byte index + 5 × 4-byte pointers (paper's model)
+
+
+class _DPNode:
+    __slots__ = ("prefix", "children", "has_route", "next_hop")
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self.children: list[Optional[_DPNode]] = [None, None]
+        self.has_route = False
+        self.next_hop: NextHop = NO_ROUTE
+
+
+def _first_diff(a: Prefix, b: Prefix) -> int:
+    """First bit position where the defined bits of ``a`` and ``b`` differ;
+    ``min(a.length, b.length)`` if one is a prefix of the other."""
+    limit = min(a.length, b.length)
+    if limit == 0:
+        return 0
+    diff = (a.value ^ b.value) >> (a.width - limit)
+    if diff == 0:
+        return limit
+    return limit - diff.bit_length()
+
+
+class DPTrie(LongestPrefixMatcher):
+    """Path-compressed dynamic prefix trie with incremental updates."""
+
+    name = "DP"
+
+    def __init__(self, table: Optional[RoutingTable] = None, width: int = 32):
+        super().__init__()
+        self.width = table.width if table is not None else width
+        self.root = _DPNode(Prefix(0, 0, self.width))
+        self.node_count = 1
+        self.route_count = 0
+        if table is not None:
+            for prefix, hop in table.routes():
+                self.insert(prefix, hop)
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
+        """Add or overwrite a route."""
+        if prefix.width != self.width:
+            raise TrieError(
+                f"prefix width {prefix.width} != trie width {self.width}"
+            )
+        node = self.root
+        while True:
+            if node.prefix == prefix:
+                if not node.has_route:
+                    self.route_count += 1
+                node.has_route = True
+                node.next_hop = next_hop
+                return
+            # Invariant: node.prefix is a proper prefix of `prefix`.
+            bit = (prefix.value >> (self.width - 1 - node.prefix.length)) & 1
+            child = node.children[bit]
+            if child is None:
+                leaf = _DPNode(prefix)
+                leaf.has_route = True
+                leaf.next_hop = next_hop
+                node.children[bit] = leaf
+                self.node_count += 1
+                self.route_count += 1
+                return
+            if child.prefix.length <= prefix.length and child.prefix.contains(prefix):
+                node = child
+                continue
+            if prefix.contains(child.prefix):
+                # New route sits between node and child.
+                mid = _DPNode(prefix)
+                mid.has_route = True
+                mid.next_hop = next_hop
+                cbit = (child.prefix.value >> (self.width - 1 - prefix.length)) & 1
+                mid.children[cbit] = child
+                node.children[bit] = mid
+                self.node_count += 1
+                self.route_count += 1
+                return
+            # Divergence: split at the first differing bit.
+            at = _first_diff(prefix, child.prefix)
+            common_value = prefix.value & (
+                ((1 << at) - 1) << (self.width - at) if at else 0
+            )
+            branch = _DPNode(Prefix(common_value, at, self.width))
+            leaf = _DPNode(prefix)
+            leaf.has_route = True
+            leaf.next_hop = next_hop
+            nbit = (prefix.value >> (self.width - 1 - at)) & 1
+            branch.children[nbit] = leaf
+            branch.children[1 - nbit] = child
+            node.children[bit] = branch
+            self.node_count += 2
+            self.route_count += 1
+            return
+
+    def delete(self, prefix: Prefix) -> NextHop:
+        """Remove a route, splicing out pass-through nodes."""
+        parent: Optional[_DPNode] = None
+        pbit = 0
+        node = self.root
+        while node.prefix != prefix:
+            if node.prefix.length >= prefix.length or not node.prefix.contains(prefix):
+                raise TrieError(f"no route for {prefix}")
+            bit = (prefix.value >> (self.width - 1 - node.prefix.length)) & 1
+            child = node.children[bit]
+            if child is None or not child.prefix.contains(prefix):
+                raise TrieError(f"no route for {prefix}")
+            parent, pbit, node = node, bit, child
+        if not node.has_route:
+            raise TrieError(f"no route for {prefix}")
+        hop = node.next_hop
+        node.has_route = False
+        node.next_hop = NO_ROUTE
+        self.route_count -= 1
+        self._splice(parent, pbit, node)
+        return hop
+
+    def _splice(self, parent: Optional[_DPNode], pbit: int, node: _DPNode) -> None:
+        """Remove ``node`` if it is now redundant (routeless leaf or
+        routeless pass-through)."""
+        if node is self.root or node.has_route or parent is None:
+            return
+        kids = [c for c in node.children if c is not None]
+        if len(kids) == 2:
+            return
+        parent.children[pbit] = kids[0] if kids else None
+        self.node_count -= 1
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, address: int) -> NextHop:
+        counter = self.counter
+        counter.start()
+        best = NO_ROUTE
+        node: Optional[_DPNode] = self.root
+        width = self.width
+        while node is not None:
+            counter.touch()  # node read + stored-key verification
+            if not node.prefix.matches(address):
+                break
+            if node.has_route:
+                best = node.next_hop
+            if node.prefix.length >= width:
+                break
+            node = node.children[(address >> (width - 1 - node.prefix.length)) & 1]
+        counter.finish()
+        return best
+
+    # -- accounting ----------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        return self.node_count * NODE_BYTES
+
+    def __len__(self) -> int:
+        return self.route_count
+
+    def walk(self) -> Iterator[tuple[Prefix, NextHop]]:
+        """Yield all routes (sorted by value, then length)."""
+        out = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.has_route:
+                out.append((node.prefix, node.next_hop))
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        return iter(sorted(out, key=lambda r: (r[0].value, r[0].length)))

@@ -1,0 +1,102 @@
+"""DIR-24-8: the Gupta/Lin/McKeown hardware lookup scheme (INFOCOM 1998).
+
+A two-level structure designed for lookups at memory-access speed: the first
+level is a directly-indexed table over the top 24 address bits; entries either
+hold a next hop or point to a 256-entry second-level chunk for the (rare)
+prefixes longer than 24 bits.  Lookup therefore costs one memory access for
+most addresses and two in the worst case.
+
+The SPAL paper cites its memory footprint (> 32 MB) as the motivation for
+software tries; :meth:`storage_bytes` reproduces that with 2-byte first-level
+entries.  ``first_stride`` is parameterizable so unit tests can build tiny
+instances; the default matches the published design.
+
+NumPy arrays back both levels (the guides' "vectorize the bulk structure"
+rule): building paints value ranges with slice assignment instead of Python
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import TrieError
+from ..routing.table import NO_ROUTE, NextHop, RoutingTable
+from .base import LongestPrefixMatcher
+
+FIRST_LEVEL_ENTRY_BYTES = 2
+SECOND_LEVEL_ENTRY_BYTES = 2
+
+#: tbl24 encoding: bit 15 = chunk flag, low 15 bits = hop+1 or chunk index.
+_CHUNK_FLAG = 1 << 15
+
+
+class Dir24_8(LongestPrefixMatcher):
+    """Directly-indexed two-level lookup table (default 24 + 8 bits)."""
+
+    name = "D24"
+
+    def __init__(self, table: RoutingTable, first_stride: int = 24):
+        super().__init__()
+        if table.width != 32:
+            raise TrieError("DIR-24-8 is a 32-bit (IPv4) structure")
+        if not 1 <= first_stride < 32:
+            raise TrieError(f"first_stride {first_stride} out of range [1, 31]")
+        self.width = 32
+        self.first_stride = first_stride
+        self.second_stride = 32 - first_stride
+        self._tbl1 = np.full(1 << first_stride, NO_ROUTE + 1, dtype=np.int32)
+        self._chunks: List[np.ndarray] = []
+        self._build(table)
+
+    def _build(self, table: RoutingTable) -> None:
+        fs = self.first_stride
+        ss = self.second_stride
+        routes = sorted(table.routes(), key=lambda r: r[0].length)
+        long_routes = [(p, h) for p, h in routes if p.length > fs]
+        # Paint short routes over the first level, shortest first.
+        for prefix, hop in routes:
+            if prefix.length > fs:
+                continue
+            first = prefix.value >> ss
+            count = 1 << (fs - prefix.length)
+            self._tbl1[first : first + count] = hop + 1
+        # Build second-level chunks grouped by the top first_stride bits.
+        by_slot: dict[int, list] = {}
+        for prefix, hop in long_routes:
+            by_slot.setdefault(prefix.value >> ss, []).append((prefix, hop))
+        for slot, chunk_routes in sorted(by_slot.items()):
+            inherited = int(self._tbl1[slot])
+            chunk = np.full(1 << ss, inherited, dtype=np.int32)
+            for prefix, hop in chunk_routes:  # already shortest-first
+                first = prefix.value & ((1 << ss) - 1)
+                count = 1 << (32 - prefix.length)
+                chunk[first : first + count] = hop + 1
+            self._tbl1[slot] = -(len(self._chunks) + 1)  # negative = chunk ptr
+            self._chunks.append(chunk)
+
+    def lookup(self, address: int) -> NextHop:
+        counter = self.counter
+        counter.start()
+        entry = int(self._tbl1[address >> self.second_stride])
+        counter.touch()
+        if entry >= 0:
+            counter.finish()
+            return entry - 1
+        chunk = self._chunks[-entry - 1]
+        counter.touch()
+        hop = int(chunk[address & ((1 << self.second_stride) - 1)]) - 1
+        counter.finish()
+        return hop
+
+    def storage_bytes(self) -> int:
+        return (
+            (1 << self.first_stride) * FIRST_LEVEL_ENTRY_BYTES
+            + len(self._chunks) * (1 << self.second_stride) * SECOND_LEVEL_ENTRY_BYTES
+        )
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)

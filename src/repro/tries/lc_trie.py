@@ -1,0 +1,343 @@
+"""LC-trie (Nilsson & Karlsson, JSAC 1999): a level-compressed path-compressed
+binary trie stored as a flat node array.
+
+Construction follows the published algorithm:
+
+1. Routes are sorted by (value, length).  Routes that are proper prefixes of
+   other routes are moved to a *prefix table*; the remaining *leaf* routes
+   form a prefix-free base vector.  Every base/prefix entry points to its
+   longest proper prefix in the prefix table, forming nesting chains.
+2. The trie over the base vector uses *skip* (path compression: common bits
+   of an interval) and *branch* (level compression: replace the top ``b``
+   levels by a 2^b-way node when at least ``fill_factor`` of the children
+   would be non-empty).  Empty children point at a neighbouring base entry;
+   the terminal string comparison plus the prefix-chain walk recover
+   correctness, exactly as in the published code.
+
+Lookup walks branch nodes extracting address bits, then compares the reached
+base string and, on mismatch beyond the entry's length, walks its prefix
+chain — each step charged as one memory access.
+
+One deliberate deviation from the published code: for an *empty* child slot
+the original points at a neighbouring base entry and relies on that entry's
+chain.  With fill factors < 1 this is not always correct — e.g. routes
+``{00*, 01*, 111*, 1*}`` can level-compress so that an address matching only
+``1*`` lands on a neighbour whose chain does not contain ``1*``.  Instead,
+empty slots here point at a *covering entry* computed at build time: the
+longest route that is a prefix of the (path + slot pattern) string, with its
+proper-prefix chain attached.  This preserves the lookup cost model (one
+base read + chain walk) and is provably correct: any route matching an
+address routed into the empty slot must be a prefix of that path string (a
+longer match would have made the slot non-empty).
+
+Storage model (paper Sec. 4, fill factor 0.25): 4 bytes per trie node
+(branch/skip/pointer packed in a word) plus 8 bytes per base-vector entry and
+8 per prefix-table entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import TrieError
+from ..routing.prefix import Prefix
+from ..routing.table import NO_ROUTE, NextHop, RoutingTable
+from .base import LongestPrefixMatcher
+
+TRIE_NODE_BYTES = 4
+BASE_ENTRY_BYTES = 8
+PREFIX_ENTRY_BYTES = 8
+
+_NO_PREFIX = -1
+
+
+class _Entry:
+    """A base-vector or prefix-table entry."""
+
+    __slots__ = ("value", "length", "next_hop", "chain")
+
+    def __init__(self, value: int, length: int, next_hop: NextHop) -> None:
+        self.value = value          # left-aligned, host bits zero
+        self.length = length
+        self.next_hop = next_hop
+        self.chain = _NO_PREFIX     # index into the prefix table
+
+
+class LCTrie(LongestPrefixMatcher):
+    """Array-packed level-compressed trie with a configurable fill factor."""
+
+    name = "LC"
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        fill_factor: float = 0.25,
+        root_branch: Optional[int] = None,
+    ):
+        super().__init__()
+        if not 0.0 < fill_factor <= 1.0:
+            raise TrieError(f"fill factor must be in (0, 1], got {fill_factor}")
+        self.width = table.width
+        self.fill_factor = fill_factor
+        self.root_branch = root_branch
+        # Flat node array: (branch, skip, adr).  branch==0 → leaf, adr is a
+        # base-vector index; otherwise adr is the index of the first of
+        # 2^branch children.
+        self.nodes: List[Tuple[int, int, int]] = []
+        self.base: List[_Entry] = []
+        self.prefix_table: List[_Entry] = []
+        self._child_lists: List[List[int]] = []
+        self._default_hop: NextHop = NO_ROUTE
+        self._build(table)
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self, table: RoutingTable) -> None:
+        routes = sorted(table.routes(), key=lambda r: (r[0].value, r[0].length))
+        # Split into leaves (prefix-free) and internal prefixes.  Sorted
+        # order puts a covering prefix immediately before the covered ones,
+        # so a stack of open ancestors suffices.
+        leaves: List[_Entry] = []
+        stack: List[Tuple[Prefix, int]] = []  # (prefix, prefix_table index)
+        pending: List[Tuple[Prefix, NextHop]] = []
+
+        def flush_pending(next_prefix: Optional[Prefix]) -> None:
+            """Emit pending routes whose leaf/internal status is now known."""
+            while pending:
+                prefix, hop = pending[-1]
+                if next_prefix is not None and prefix.contains(next_prefix):
+                    # `prefix` covers what follows → it is internal.
+                    pending.pop()
+                    entry = _Entry(prefix.value, prefix.length, hop)
+                    entry.chain = self._chain_for(stack, prefix)
+                    self.prefix_table.append(entry)
+                    stack.append((prefix, len(self.prefix_table) - 1))
+                else:
+                    pending.pop()
+                    entry = _Entry(prefix.value, prefix.length, hop)
+                    entry.chain = self._chain_for(stack, prefix)
+                    leaves.append(entry)
+
+        for prefix, hop in routes:
+            if prefix.length == 0:
+                # The default route matches everything; keep it out of the
+                # trie and use it as the global fallback.
+                self._default_hop = hop
+                continue
+            # The pending route's ancestor stack is still valid here; emit it
+            # before adjusting the stack for the new prefix.
+            flush_pending(prefix)
+            while stack and not stack[-1][0].contains(prefix):
+                stack.pop()
+            pending.append((prefix, hop))
+        flush_pending(None)
+
+        if not leaves:
+            self.nodes.append((0, 0, 0))
+            self.base.append(_Entry(0, self.width + 1, NO_ROUTE))
+            return
+        self.base = leaves
+        # Auxiliary trie over every route, used only at build time to compute
+        # covering entries for empty child slots.
+        from .binary_trie import BinaryTrie
+
+        self._aux = BinaryTrie(table)
+        self._covering_cache: dict[tuple, int] = {}
+        self._build_node(0, len(leaves), 0, first_call=True)
+        del self._aux
+        del self._covering_cache
+
+    def _chain_for(self, stack: List[Tuple[Prefix, int]], prefix: Prefix) -> int:
+        for ancestor, index in reversed(stack):
+            if ancestor.contains(prefix) and ancestor.length < prefix.length:
+                return index
+        return _NO_PREFIX
+
+    def _extract(self, value: int, pos: int, bits: int) -> int:
+        """``bits`` bits of ``value`` starting at bit position ``pos``."""
+        if bits == 0:
+            return 0
+        return (value >> (self.width - pos - bits)) & ((1 << bits) - 1)
+
+    def _compute_skip(self, first: int, n: int, pos: int) -> int:
+        """Length of the bits shared by base[first..first+n) beyond ``pos``."""
+        low = self.base[first]
+        high = self.base[first + n - 1]
+        limit = min(low.length, high.length, self.width)
+        skip = 0
+        while pos + skip < limit and self._extract(
+            low.value, pos + skip, 1
+        ) == self._extract(high.value, pos + skip, 1):
+            skip += 1
+        return skip
+
+    def _compute_branch(self, first: int, n: int, pos: int) -> int:
+        """Largest branch ``b`` with at least ``fill_factor`` × 2^b non-empty
+        children (always ≥ 1 for n ≥ 2; pattern distinctness is guaranteed by
+        prefix-freeness of the base vector)."""
+        if n == 2:
+            return 1
+        branch = 1
+        while pos + branch < self.width:
+            candidate = branch + 1
+            if pos + candidate > self.width:
+                break
+            patterns = 0
+            prev_pattern = -1
+            for i in range(first, first + n):
+                pattern = self._extract(self.base[i].value, pos, candidate)
+                if pattern != prev_pattern:
+                    patterns += 1
+                    prev_pattern = pattern
+            if patterns < self.fill_factor * (1 << candidate):
+                break
+            if (1 << candidate) > 2 * n:
+                break
+            branch = candidate
+        return branch
+
+    def _build_node(self, first: int, n: int, pos: int, first_call: bool = False) -> int:
+        """Recursively emit nodes for base[first..first+n); returns the node
+        index."""
+        index = len(self.nodes)
+        if n == 1:
+            self.nodes.append((0, 0, first))
+            return index
+        skip = self._compute_skip(first, n, pos)
+        if first_call and self.root_branch is not None:
+            branch = max(1, min(self.root_branch, self.width - pos - skip))
+        else:
+            branch = self._compute_branch(first, n, pos + skip)
+        self.nodes.append((branch, skip, 0))  # adr patched below
+        children_adr = None
+        # Partition the interval by the branch-bit pattern.
+        boundaries: List[Tuple[int, int]] = []  # (start, count) per pattern
+        p = first
+        for pattern in range(1 << branch):
+            k = 0
+            while (
+                p + k < first + n
+                and self._extract(self.base[p + k].value, pos + skip, branch)
+                == pattern
+            ):
+                k += 1
+            boundaries.append((p, k))
+            p += k
+        if p != first + n:
+            raise TrieError("base vector not sorted by branch pattern")
+        child_indexes: List[int] = []
+        for pattern, (start, k) in enumerate(boundaries):
+            if k == 0:
+                # Empty child: leaf pointing at the covering entry for this
+                # path+pattern string (see the module docstring).
+                entry = self._covering_entry(first, pos + skip, branch, pattern)
+                child_indexes.append(len(self.nodes))
+                self.nodes.append((0, 0, entry))
+            else:
+                child_indexes.append(
+                    self._build_node(start, k, pos + skip + branch)
+                )
+        # The published layout stores the 2^branch children contiguously and
+        # encodes only the first child's index; depth-first emission here
+        # makes them non-contiguous, so `adr` indexes a child list instead.
+        # Storage accounting below still follows the contiguous model.
+        adr = len(self._child_lists)
+        self._child_lists.append(child_indexes)
+        self.nodes[index] = (branch, skip, adr)
+        return index
+
+    def _covering_entry(self, first: int, region_start: int, branch: int, pattern: int) -> int:
+        """Base-vector index of the covering entry for an empty child slot.
+
+        The slot corresponds to the bit string ``path(region_start bits) +
+        pattern(branch bits)``; the covering entry carries the longest route
+        that is a prefix of that string, chained to its proper prefixes.
+        """
+        region_end = region_start + branch
+        path_bits = self.base[first].value
+        keep = (
+            ((1 << region_start) - 1) << (self.width - region_start)
+            if region_start
+            else 0
+        )
+        probe = (path_bits & keep) | (pattern << (self.width - region_end))
+        candidates = self._aux.route_chain(probe, region_end)
+        # Drop the default route (length 0): it is the global fallback.
+        candidates = [(l, h) for l, h in candidates if l > 0]
+        key = tuple((l, h, probe >> (self.width - l)) for l, h in candidates)
+        cached = self._covering_cache.get(key)
+        if cached is not None:
+            return cached
+        if not candidates:
+            # Dead entry: never matches, falls through to the default hop.
+            index = len(self.base)
+            self.base.append(_Entry(0, self.width + 1, NO_ROUTE))
+            self._covering_cache[key] = index
+            return index
+        length, hop = candidates[-1]
+        mask = ((1 << length) - 1) << (self.width - length)
+        entry = _Entry(probe & mask, length, hop)
+        chain = _NO_PREFIX
+        for clen, chop in candidates[:-1]:  # increasing length
+            cmask = ((1 << clen) - 1) << (self.width - clen)
+            chain_entry = _Entry(probe & cmask, clen, chop)
+            chain_entry.chain = chain
+            self.prefix_table.append(chain_entry)
+            chain = len(self.prefix_table) - 1
+        entry.chain = chain
+        index = len(self.base)
+        self.base.append(entry)
+        self._covering_cache[key] = index
+        return index
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, address: int) -> NextHop:
+        counter = self.counter
+        counter.start()
+        node = self.nodes[0]
+        counter.touch()
+        pos = 0
+        while node[0] != 0:
+            branch, skip, adr = node
+            pos += skip
+            child = self._child_lists[adr][self._extract(address, pos, branch)]
+            pos += branch
+            node = self.nodes[child]
+            counter.touch()
+        entry = self.base[node[2]]
+        counter.touch()  # base-vector read
+        hop = self._match_entry(entry, address, counter)
+        counter.finish()
+        return hop
+
+    def _match_entry(self, entry: _Entry, address: int, counter) -> NextHop:
+        diff = entry.value ^ address
+        if entry.length <= self.width and (
+            entry.length == 0 or (diff >> (self.width - entry.length)) == 0
+        ):
+            return entry.next_hop
+        chain = entry.chain
+        while chain != _NO_PREFIX:
+            prefix_entry = self.prefix_table[chain]
+            counter.touch()  # prefix-table read
+            if (diff >> (self.width - prefix_entry.length)) == 0:
+                return prefix_entry.next_hop
+            chain = prefix_entry.chain
+        return self._default_hop
+
+    # -- storage ----------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        # One 4-byte word per node (children contiguous in the published
+        # layout, so `self.nodes` already counts every slot) plus the base
+        # and prefix tables.
+        return (
+            len(self.nodes) * TRIE_NODE_BYTES
+            + len(self.base) * BASE_ENTRY_BYTES
+            + len(self.prefix_table) * PREFIX_ENTRY_BYTES
+        )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,143 @@
+"""Fixed-stride multibit trie with controlled prefix expansion.
+
+The generic multiple-bit-inspection structure the paper's background section
+discusses (stride choice trades lookup speed against memory).  Each level
+consumes ``stride`` bits through a 2^stride-entry node; prefixes whose length
+falls inside a stride are expanded to the stride boundary.  Every node entry
+remembers the length of the route that painted it so inserts may arrive in
+any order (longest-prefix wins per entry).
+
+Storage model: each node entry is a 4-byte word (next-hop + child pointer,
+as in hardware implementations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import TrieError
+from ..routing.prefix import Prefix
+from ..routing.table import NO_ROUTE, NextHop, RoutingTable
+from .base import LongestPrefixMatcher
+
+ENTRY_BYTES = 4
+
+
+class _MultibitNode:
+    __slots__ = ("hops", "lens", "children")
+
+    def __init__(self, size: int, hop: NextHop = NO_ROUTE, length: int = -1):
+        self.hops: List[NextHop] = [hop] * size
+        #: Length of the route that painted each entry (-1 = unpainted);
+        #: longest-prefix-wins is enforced per entry via this field.
+        self.lens: List[int] = [length] * size
+        self.children: List[Optional[_MultibitNode]] = [None] * size
+
+
+class MultibitTrie(LongestPrefixMatcher):
+    """Fixed-stride multibit trie; default strides 16/8/8 (Lulea-shaped,
+    uncompressed — the contrast that motivates bitmap compression)."""
+
+    name = "MB"
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        strides: Sequence[int] = (16, 8, 8),
+    ):
+        super().__init__()
+        self.width = table.width
+        if sum(strides) != self.width:
+            raise TrieError(
+                f"strides {tuple(strides)} must sum to the address width {self.width}"
+            )
+        if any(s <= 0 for s in strides):
+            raise TrieError("strides must be positive")
+        self.strides = tuple(strides)
+        self._boundaries: List[int] = []
+        acc = 0
+        for s in strides:
+            acc += s
+            self._boundaries.append(acc)
+        self.root = _MultibitNode(1 << strides[0])
+        self.node_count = 1
+        self.entry_count = 1 << strides[0]
+        for prefix, hop in table.routes():
+            self.insert(prefix, hop)
+
+    def _level_of(self, length: int) -> int:
+        """Index of the stride level a prefix of ``length`` expands into."""
+        if length == 0:
+            return 0
+        for level, boundary in enumerate(self._boundaries):
+            if length <= boundary:
+                return level
+        raise TrieError(f"prefix length {length} exceeds width {self.width}")
+
+    def insert(self, prefix: Prefix, hop: NextHop) -> None:
+        """Add a route (idempotent per prefix; longest-prefix wins per slot)."""
+        if prefix.width != self.width:
+            raise TrieError(
+                f"prefix width {prefix.width} != trie width {self.width}"
+            )
+        level = self._level_of(prefix.length)
+        node = self.root
+        consumed = 0
+        for lvl in range(level):
+            stride = self.strides[lvl]
+            index = (prefix.value >> (self.width - consumed - stride)) & (
+                (1 << stride) - 1
+            )
+            child = node.children[index]
+            if child is None:
+                # A new child inherits the covering (hop, length) of its slot
+                # so expansion preserves LPM semantics.
+                size = 1 << self.strides[lvl + 1]
+                child = _MultibitNode(size, node.hops[index], node.lens[index])
+                node.children[index] = child
+                self.node_count += 1
+                self.entry_count += size
+            node = child
+            consumed += stride
+        stride = self.strides[level]
+        boundary = consumed + stride
+        if prefix.length == 0:
+            first, count = 0, 1 << stride
+        else:
+            first = (prefix.value >> (self.width - boundary)) & ((1 << stride) - 1)
+            count = 1 << (boundary - prefix.length)
+        for i in range(first, first + count):
+            self._paint(node, i, hop, prefix.length)
+
+    def _paint(self, node: _MultibitNode, index: int, hop: NextHop, length: int) -> None:
+        if length >= node.lens[index]:
+            node.hops[index] = hop
+            node.lens[index] = length
+        child = node.children[index]
+        if child is not None:
+            for i in range(len(child.hops)):
+                self._paint(child, i, hop, length)
+
+    def lookup(self, address: int) -> NextHop:
+        counter = self.counter
+        counter.start()
+        node: Optional[_MultibitNode] = self.root
+        consumed = 0
+        best = NO_ROUTE
+        for stride in self.strides:
+            assert node is not None
+            index = (address >> (self.width - consumed - stride)) & (
+                (1 << stride) - 1
+            )
+            counter.touch()  # one node-entry read per level
+            if node.hops[index] != NO_ROUTE:
+                best = node.hops[index]
+            node = node.children[index]
+            consumed += stride
+            if node is None:
+                break
+        counter.finish()
+        return best
+
+    def storage_bytes(self) -> int:
+        return self.entry_count * ENTRY_BYTES

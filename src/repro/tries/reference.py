@@ -1,0 +1,69 @@
+"""Hash-based reference matcher: exact-match tables per prefix length.
+
+Lookup probes lengths from longest to shortest with one dict probe each —
+O(width) worst case but simple enough to serve as the large-scale correctness
+oracle (the linear scan in :meth:`RoutingTable.lookup` is quadratic over big
+tables).  Not a paper structure; a test/measurement substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..routing.prefix import Prefix
+from ..routing.table import NO_ROUTE, NextHop, RoutingTable
+from .base import LongestPrefixMatcher
+
+
+class HashReferenceMatcher(LongestPrefixMatcher):
+    """Per-length hash tables probed longest-first."""
+
+    name = "REF"
+
+    def __init__(self, table: Optional[RoutingTable] = None, width: int = 32):
+        super().__init__()
+        self.width = table.width if table is not None else width
+        self._by_length: Dict[int, Dict[int, NextHop]] = {}
+        self._lengths: list[int] = []
+        if table is not None:
+            for prefix, hop in table.routes():
+                self.insert(prefix, hop)
+
+    def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
+        bucket = self._by_length.get(prefix.length)
+        if bucket is None:
+            bucket = self._by_length[prefix.length] = {}
+            self._lengths = sorted(self._by_length, reverse=True)
+        shift = self.width - prefix.length
+        bucket[prefix.value >> shift if prefix.length else 0] = next_hop
+
+    def delete(self, prefix: Prefix) -> NextHop:
+        bucket = self._by_length.get(prefix.length, {})
+        shift = self.width - prefix.length
+        key = prefix.value >> shift if prefix.length else 0
+        hop = bucket.pop(key, None)
+        if hop is None:
+            raise KeyError(f"no route for {prefix}")
+        if not bucket:
+            del self._by_length[prefix.length]
+            self._lengths = sorted(self._by_length, reverse=True)
+        return hop
+
+    def lookup(self, address: int) -> NextHop:
+        counter = self.counter
+        counter.start()
+        width = self.width
+        for length in self._lengths:
+            counter.touch()
+            key = address >> (width - length) if length else 0
+            hop = self._by_length[length].get(key)
+            if hop is not None:
+                counter.finish()
+                return hop
+        counter.finish()
+        return NO_ROUTE
+
+    def storage_bytes(self) -> int:
+        # Hash entries: key (width/8) + hop (2 bytes); buckets at 1.5x load.
+        entries = sum(len(b) for b in self._by_length.values())
+        return int(entries * (self.width // 8 + 2) * 1.5)

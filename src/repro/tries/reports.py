@@ -1,0 +1,73 @@
+"""Cross-structure comparison reports for the LPM substrate.
+
+The paper's background section (Sec. 2.1) contrasts software tries by
+storage and access count; :func:`compare_structures` produces that table for
+any routing table, including build time — the operational cost routing
+updates pay when a static structure must be rebuilt.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..routing.synthetic import addresses_matching
+from ..routing.table import RoutingTable
+from .base import LongestPrefixMatcher, matching_cycles
+from .binary_trie import BinaryTrie
+from .dp_trie import DPTrie
+from .gupta import Dir24_8
+from .lc_trie import LCTrie
+from .lulea import LuleaTrie
+from .multibit import MultibitTrie
+
+#: Default comparison set: every IPv4 structure in the package.
+DEFAULT_FACTORIES: Mapping[str, Callable[[RoutingTable], LongestPrefixMatcher]] = {
+    "binary": BinaryTrie,
+    "DP": DPTrie,
+    "Lulea": LuleaTrie,
+    "LC (ff=0.25)": lambda t: LCTrie(t, fill_factor=0.25),
+    "multibit 16/8/8": MultibitTrie,
+    "DIR-24-8": Dir24_8,
+}
+
+
+def compare_structures(
+    table: RoutingTable,
+    n_addresses: int = 2000,
+    seed: int = 0,
+    factories: Optional[Mapping[str, Callable]] = None,
+) -> List[Dict[str, object]]:
+    """Build every structure over ``table`` and measure storage, build
+    time, and lookup access counts over a matched address stream.
+
+    Returns one row per structure with keys: ``name``, ``storage_kb``,
+    ``build_ms``, ``mean_accesses``, ``worst_accesses``, ``fe_cycles``.
+    """
+    addrs = [int(a) for a in addresses_matching(table, n_addresses, seed=seed)]
+    rows: List[Dict[str, object]] = []
+    for name, factory in (factories or DEFAULT_FACTORIES).items():
+        start = time.perf_counter()
+        matcher = factory(table)
+        build_ms = (time.perf_counter() - start) * 1000.0
+        mean, worst = matcher.measure(addrs)
+        rows.append(
+            {
+                "name": name,
+                "storage_kb": round(matcher.storage_bytes() / 1024.0, 1),
+                "build_ms": round(build_ms, 1),
+                "mean_accesses": round(mean, 2),
+                "worst_accesses": worst,
+                "fe_cycles": matching_cycles(mean),
+            }
+        )
+    return rows
+
+
+def render_comparison(rows: Sequence[Mapping[str, object]]) -> str:
+    """ASCII table for :func:`compare_structures` output."""
+    from ..analysis.tables import render_table
+
+    headers = ["name", "storage_kb", "build_ms", "mean_accesses",
+               "worst_accesses", "fe_cycles"]
+    return render_table(headers, [[r[h] for h in headers] for r in rows])

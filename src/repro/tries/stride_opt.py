@@ -1,0 +1,130 @@
+"""Optimal fixed-stride selection for multibit tries (after Srinivasan &
+Varghese, "Fast Address Lookups Using Controlled Prefix Expansion").
+
+The paper's background section notes that the stride "affects the search
+speed and the memory amount needed" — the classical resolution is a dynamic
+program: given the binary-trie node counts per depth, choose at most ``k``
+level boundaries minimizing total expanded memory.  Each level covering
+bits (a, b] costs ``nodes_at(a) × 2^(b−a)`` array entries, because every
+binary-trie node alive at depth ``a`` becomes one 2^(b−a)-entry array.
+
+``optimal_strides(table, k)`` returns the memory-minimal stride vector with
+at most ``k`` levels (i.e. at most ``k`` memory accesses per lookup), ready
+to feed :class:`repro.tries.multibit.MultibitTrie`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..routing.table import RoutingTable
+from .binary_trie import BinaryTrie
+
+
+def nodes_per_depth(table: RoutingTable) -> List[int]:
+    """Binary-trie node counts indexed by depth (0 = root, always 1).
+
+    Depths beyond the deepest route have zero nodes.
+    """
+    trie = BinaryTrie(table)
+    counts = [0] * (table.width + 1)
+    stack = [(trie.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        counts[depth] += 1
+        for child in node.children:
+            if child is not None:
+                stack.append((child, depth + 1))
+    return counts
+
+
+def internal_nodes_per_depth(table: RoutingTable) -> List[int]:
+    """Nodes per depth that have at least one child — exactly the nodes a
+    multibit trie allocates a next-level array for.  The root is counted
+    unconditionally (the level-1 array always exists)."""
+    trie = BinaryTrie(table)
+    counts = [0] * (table.width + 1)
+    counts[0] = 1
+    stack = [(trie.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        for child in node.children:
+            if child is not None:
+                if child.children[0] is not None or child.children[1] is not None:
+                    counts[depth + 1] += 1
+                stack.append((child, depth + 1))
+    return counts
+
+
+def optimal_strides(
+    table: RoutingTable, max_levels: int = 3, max_stride: int = 26
+) -> Tuple[List[int], int]:
+    """Memory-minimal strides with at most ``max_levels`` levels.
+
+    Returns ``(strides, total_entries)`` where strides sum to the address
+    width and ``total_entries`` is the expanded entry count the DP
+    minimized (× entry size = bytes).  ``max_stride`` bounds any single
+    level (a 2^26-entry array is already 256 MB of 4-byte entries); if the
+    populated depth cannot be covered within the level/stride budget a
+    ``ValueError`` is raised.
+
+    When the populated depth is shorter than the address width, a free
+    trailing level covers the empty tail — it allocates no arrays and is
+    never descended into, so it costs neither memory nor accesses.
+    """
+    if max_levels < 1:
+        raise ValueError("max_levels must be at least 1")
+    if max_stride < 1:
+        raise ValueError("max_stride must be at least 1")
+    width = table.width
+    counts = internal_nodes_per_depth(table)
+    # Depth of the deepest populated node: boundaries beyond it are free,
+    # so clamp the effective width for the DP and pad the last stride.
+    all_counts = nodes_per_depth(table)
+    deepest = max((d for d, c in enumerate(all_counts) if c), default=0)
+
+    # cost(a, b): memory entries for one level covering bits (a, b].
+    def cost(a: int, b: int) -> int:
+        return counts[a] * (1 << (b - a)) if counts[a] else 0
+
+    # best[j][r] = (min entries to cover bits (0, j] with r levels, prev j)
+    INF = float("inf")
+    effective = deepest if deepest > 0 else width
+    best: List[Dict[int, Tuple[float, int]]] = [
+        {} for _ in range(effective + 1)
+    ]
+    best[0][0] = (0.0, -1)
+    for j in range(1, effective + 1):
+        for r in range(1, max_levels + 1):
+            candidates = []
+            for i in range(max(0, j - max_stride), j):
+                prev = best[i].get(r - 1)
+                if prev is not None and prev[0] != INF:
+                    candidates.append((prev[0] + cost(i, j), i))
+            if candidates:
+                best[j][r] = min(candidates)
+    finals = [best[effective].get(r) for r in range(1, max_levels + 1)]
+    finals = [(f, r + 1) for r, f in enumerate(finals) if f is not None]
+    if not finals:
+        raise ValueError(
+            f"no stride assignment with {max_levels} levels covers "
+            f"{effective} bits"
+        )
+    (total, _), levels = min(finals, key=lambda t: t[0][0])
+    # Reconstruct boundaries.
+    boundaries = [effective]
+    j, r = effective, levels
+    while j > 0:
+        _, i = best[j][r]
+        boundaries.append(i)
+        j, r = i, r - 1
+    boundaries.reverse()
+    strides = [b - a for a, b in zip(boundaries, boundaries[1:])]
+    # A free trailing level covers the unpopulated tail: no node reaches
+    # into it, so no arrays are ever allocated and lookups never descend.
+    remaining = width - effective
+    while remaining > 0:
+        step = min(remaining, max_stride)
+        strides.append(step)
+        remaining -= step
+    return strides, int(total)

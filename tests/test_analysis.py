@@ -1,0 +1,42 @@
+"""Tests for table/series rendering."""
+
+from repro.analysis import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_column_alignment(self):
+        out = render_table(["col", "x"], [["long-value", 1], ["s", 22]])
+        lines = out.splitlines()
+        # All rows have the same width.
+        assert len({len(l) for l in lines[:1] + lines[2:]}) == 1
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})
+        lines = out.splitlines()
+        assert "s1" in lines[0] and "s2" in lines[0]
+        assert "0.10" in out and "2.00" in out
+
+    def test_none_values_dash(self):
+        out = render_series("x", [1], {"s": [None]})
+        assert "-" in out.splitlines()[-1]
+
+    def test_custom_format(self):
+        out = render_series("x", [1], {"s": [3.14159]}, fmt="{:.4f}")
+        assert "3.1416" in out

@@ -1,0 +1,94 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("a |")
+        assert "2" in lines[1]
+
+    def test_longer_bar_for_larger_value(self):
+        out = bar_chart(["x", "y"], [1.0, 10.0], width=20)
+        x_line, y_line = out.splitlines()
+        assert y_line.count("#") > x_line.count("#")
+
+    def test_log_scale_compresses(self):
+        lin = bar_chart(["x", "y"], [1.0, 1000.0], width=40)
+        log = bar_chart(["x", "y"], [1.0, 1000.0], width=40, log=True)
+        lin_ratio = lin.splitlines()[1].count("#") / lin.splitlines()[0].count("#")
+        log_lines = log.splitlines()
+        log_ratio = log_lines[1].count("#") / log_lines[0].count("#")
+        assert log_ratio < lin_ratio
+        assert "(log scale)" in log
+
+    def test_zero_value_empty_bar(self):
+        out = bar_chart(["z"], [0.0], width=10)
+        assert "#" not in out
+
+    def test_title_and_unit(self):
+        out = bar_chart(["a"], [5.0], title="T", unit=" KB")
+        assert out.splitlines()[0] == "T"
+        assert "5 KB" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="T") == "T"
+
+
+class TestLineChart:
+    def test_series_glyphs_present(self):
+        out = line_chart([1, 2, 3], {"s1": [1, 2, 3], "s2": [3, 2, 1]})
+        assert "*" in out and "o" in out
+        assert "*=s1" in out and "o=s2" in out
+
+    def test_axis_bounds(self):
+        out = line_chart([1, 2], {"s": [5.0, 15.0]})
+        assert "15.0" in out and "5.0" in out
+
+    def test_monotone_series_renders_monotone(self):
+        out = line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, height=3, width=9)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        # Highest value in the top row, lowest in the bottom row.
+        assert "*" in rows[0] and "*" in rows[-1]
+        assert rows[0].index("*") > rows[-1].index("*")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_none_values_skipped(self):
+        out = line_chart([1, 2], {"s": [None, 2.0]})
+        grid = "".join(l for l in out.splitlines() if "|" in l)
+        assert grid.count("*") == 1
+
+    def test_single_point(self):
+        out = line_chart([7], {"s": [3.0]})
+        assert "*" in out
+
+    def test_empty_series(self):
+        assert line_chart([1], {}, title="T") == "T"
+
+
+class TestFigureIntegration:
+    def test_fig3_includes_charts(self):
+        from repro.experiments import run_fig3
+
+        result = run_fig3()
+        assert "(log scale)" in result.rendered
+        assert "(chart: psi=4, RT_1)" in result.rendered
+
+    def test_line_figures_include_charts(self):
+        from repro.experiments import run_fig4
+
+        result = run_fig4(packets_per_lc=1200, traces=["D_75"])
+        assert "(chart: mean lookup cycles)" in result.rendered
+        assert "*=D_75" in result.rendered

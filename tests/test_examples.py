@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "all match the LPM oracle" in out
+    assert "applied a routing update" in out
+
+
+def test_ipv6_partitioning():
+    out = run_example("ipv6_partitioning.py")
+    assert "LPM preserved across 16 partitions" in out
+    assert "smaller per LC" in out
+
+
+@pytest.mark.slow
+def test_backbone_router_study():
+    out = run_example("backbone_router_study.py")
+    assert "SPAL speedup" in out
+    assert "SRAM per LC" in out
+
+
+@pytest.mark.slow
+def test_trace_locality_study():
+    out = run_example("trace_locality_study.py")
+    assert "D_75" in out and "B_L" in out
+
+
+@pytest.mark.slow
+def test_routing_update_study():
+    out = run_example("routing_update_study.py")
+    assert "selective" in out and "flush" in out
+
+
+@pytest.mark.slow
+def test_capacity_planning():
+    out = run_example("capacity_planning.py")
+    assert "hit rate > 0.75" in out
+    assert "FE backlog" in out
+
+
+def test_failover_demo():
+    out = run_example("failover_demo.py")
+    assert "lookup errors during failover: 0" in out
+    assert "lose service" in out

@@ -1,0 +1,206 @@
+"""Smoke tests for the experiment runners (tiny configurations).
+
+Each runner must produce rows, render text, and satisfy the coarse shape
+property its paper artifact claims.  Full-scale regeneration lives in the
+benchmark suite and the CLI.
+"""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    run_access_counts,
+    run_bit_selection,
+    run_bit_selection_ablation,
+    run_design_ablations,
+    run_fabric_sensitivity,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_headline,
+    run_partition_storage,
+    run_scenario_matrix,
+    run_worst_case_partitioned,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    default_packets_per_lc,
+    mix_for_cache,
+    paper_scale,
+    scale_cache,
+)
+
+TINY = dict(packets_per_lc=1500)
+
+
+class TestCommon:
+    def test_paper_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert not paper_scale()
+        assert default_packets_per_lc() == 30_000
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert paper_scale()
+        assert default_packets_per_lc() == 300_000
+
+    def test_mix_rule(self):
+        assert mix_for_cache(1024) == 0.25
+        assert mix_for_cache(2048) == 0.5
+        assert mix_for_cache(8192) == 0.5
+
+    def test_scale_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert scale_cache(4096) == 1024
+        assert scale_cache(None) is None
+        assert scale_cache(64) == 64
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert scale_cache(4096) == 4096
+
+    def test_registry_complete(self):
+        for key in (
+            "partition-bits",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "headline",
+            "ablations",
+        ):
+            assert key in REGISTRY
+
+
+class TestStorageExperiments:
+    def test_bit_selection_rows(self):
+        result = run_bit_selection()
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 4  # 2 tables x 2 psi
+        for row in result.rows:
+            assert row["min_partition"] > 0
+            assert row["max_partition"] >= row["min_partition"]
+        assert result.rendered
+
+    def test_partition_storage_savings_positive(self):
+        result = run_partition_storage()
+        assert len(result.rows) == 12  # 2 tables x 3 tries x 2 psi
+        for row in result.rows:
+            assert row["saving_per_lc_kb"] > 0
+
+    def test_fig3_s_below_w(self):
+        result = run_fig3()
+        assert len(result.rows) == 4
+        for row in result.rows:
+            for trie in ("DP", "LL", "LC"):
+                assert row[f"{trie}_S"] < row[f"{trie}_W"]
+
+    def test_access_counts_match_paper_band(self):
+        result = run_access_counts(n_addresses=2000)
+        by_key = {(r["table"], r["trie"]): r for r in result.rows}
+        # Lulea: paper 6.2/6.6 accesses -> ~40 FE cycles.
+        for table in ("RT_1", "RT_2"):
+            lulea = by_key[(table, "LL")]
+            assert 4.5 <= lulea["mean_accesses"] <= 8.5
+            assert 35 <= lulea["fe_cycles"] <= 45
+            dp = by_key[(table, "DP")]
+            assert 11 <= dp["mean_accesses"] <= 20
+            assert 50 <= dp["fe_cycles"] <= 72
+
+    def test_worst_case_partitioned(self):
+        # The paper's claim is "may *possibly* shorten" the worst case —
+        # partitioning must never blow it up, and should help or tie for
+        # most structures.
+        result = run_worst_case_partitioned(n_addresses=800)
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row["partitioned_worst"] <= row["whole_worst"] * 1.5
+        improved = sum(1 for r in result.rows if r["improved"])
+        assert improved >= len(result.rows) // 2
+
+
+class TestSimulationExperiments:
+    def test_fig4_shape(self):
+        result = run_fig4(**TINY, traces=["D_75"])
+        assert len(result.rows) == 4  # 4 mix values
+        assert all(r["mean_cycles"] > 0 for r in result.rows)
+
+    def test_fig5_monotone_for_high_pressure_trace(self):
+        # Needs enough packets that the scaled flow population exceeds the
+        # smallest cache, otherwise every size is equally effective.
+        result = run_fig5(packets_per_lc=2500, traces=["L_92-0"])
+        means = [r["mean_cycles"] for r in result.rows]
+        assert means[0] > means[-1]  # 1K worse than 8K
+
+    def test_fig6_improves_with_psi(self):
+        result = run_fig6(**TINY, traces=["D_75"], psi_values=(1, 4, 16))
+        means = {r["psi"]: r["mean_cycles"] for r in result.rows}
+        assert means[16] < means[1]
+
+    def test_headline_speedup(self):
+        result = run_headline(**TINY, traces=["D_75"])
+        data_rows = [r for r in result.rows if r["trace"] != "MEAN"]
+        assert all(r["speedup"] > 1.0 for r in data_rows)
+        assert result.rows[-1]["trace"] == "MEAN"
+
+    def test_design_ablations_rows(self):
+        result = run_design_ablations(packets_per_lc=1500, cache_blocks=1024)
+        variants = [r["variant"] for r in result.rows]
+        assert any("victim" in v for v in variants)
+        assert any("no LR-caches" in v for v in variants)
+        base = result.rows[0]["mean_cycles"]
+        uncached = next(
+            r for r in result.rows if r["variant"] == "no LR-caches"
+        )["mean_cycles"]
+        assert uncached > base
+
+    def test_fabric_sensitivity_monotone_ends(self):
+        result = run_fabric_sensitivity(packets_per_lc=1500)
+        assert result.rows[0]["fabric_cycles"] == 0
+        assert result.rows[-1]["mean_cycles"] >= result.rows[0]["mean_cycles"]
+
+    def test_scenario_matrix(self):
+        result = run_scenario_matrix(packets_per_lc=1500)
+        assert len(result.rows) == 4
+        # The 62-cycle FE is never faster than the 40-cycle FE at equal speed.
+        by_key = {(r["speed_gbps"], r["fe_cycles"]): r["mean_cycles"]
+                  for r in result.rows}
+        assert by_key[(40, 62)] >= by_key[(40, 40)] * 0.9
+
+    def test_bit_selection_ablation(self):
+        result = run_bit_selection_ablation()
+        by_variant = {r["variant"]: r for r in result.rows}
+        criteria = next(v for k, v in by_variant.items() if "criteria" in k)
+        naive_top = by_variant["naive top bits 0-3"]
+        # Criteria selection must balance at least as well as naive top bits.
+        assert criteria["max_partition"] <= naive_top["max_partition"]
+
+
+class TestCLI:
+    def test_main_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_main_runs_one(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["partition-bits"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+
+    def test_main_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "scorecard" in out
+
+    def test_main_out_dir(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["-o", str(tmp_path), "partition-bits"]) == 0
+        assert (tmp_path / "partition-bits.txt").exists()
+        assert (tmp_path / "partition-bits.json").exists()
+        import json
+
+        data = json.loads((tmp_path / "partition-bits.json").read_text())
+        assert data["exp_id"] == "E1"

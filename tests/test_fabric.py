@@ -1,0 +1,90 @@
+"""Unit tests for the switching-fabric models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core import (
+    CrossbarFabric,
+    IdealFabric,
+    MultistageFabric,
+    SharedBusFabric,
+    default_fabric,
+)
+
+
+class TestIdealFabric:
+    def test_zero_latency_no_contention(self):
+        f = IdealFabric(4)
+        assert f.transfer(0, 1, 100) == 100
+        assert f.transfer(0, 1, 100) == 100  # no serialization
+        assert f.messages == 2
+
+
+class TestSharedBus:
+    def test_global_serialization(self):
+        f = SharedBusFabric(4)
+        assert f.transfer(0, 1, 10) == 11
+        # A second message at the same time waits for the bus.
+        assert f.transfer(2, 3, 10) == 12
+
+    def test_reset(self):
+        f = SharedBusFabric(2)
+        f.transfer(0, 1, 5)
+        f.reset()
+        assert f.messages == 0
+        assert f.transfer(0, 1, 0) == 1
+
+
+class TestCrossbar:
+    def test_transit_latency(self):
+        f = CrossbarFabric(8, transit_cycles=2)
+        assert f.transfer(0, 1, 10) == 12
+
+    def test_port_serialization(self):
+        f = CrossbarFabric(8, transit_cycles=2)
+        # Same source port: second departs a cycle later.
+        assert f.transfer(0, 1, 10) == 12
+        assert f.transfer(0, 2, 10) == 13
+        # Same destination port: arrivals serialize too.
+        f2 = CrossbarFabric(8, transit_cycles=0)
+        assert f2.transfer(0, 3, 10) == 10
+        assert f2.transfer(1, 3, 10) == 11
+
+    def test_distinct_ports_parallel(self):
+        f = CrossbarFabric(8, transit_cycles=1)
+        assert f.transfer(0, 1, 10) == 11
+        assert f.transfer(2, 3, 10) == 11
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            CrossbarFabric(4, transit_cycles=-1)
+
+
+class TestMultistage:
+    def test_stage_count(self):
+        assert MultistageFabric(16, radix=4).stages == 2
+        assert MultistageFabric(64, radix=4).stages == 3
+        assert MultistageFabric(2, radix=4).stages == 1
+
+    def test_latency_scales_with_stages(self):
+        f = MultistageFabric(64, radix=4, hop_cycles=2)
+        assert f.latency_cycles() == 6
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MultistageFabric(8, radix=1)
+        with pytest.raises(SimulationError):
+            MultistageFabric(8, hop_cycles=0)
+
+
+class TestDefaultFabric:
+    def test_sizing_rule(self):
+        assert default_fabric(2).name == "bus"
+        assert default_fabric(4).name == "bus"
+        assert default_fabric(8).name == "crossbar"
+        assert default_fabric(16).name == "crossbar"
+        assert default_fabric(32).name == "multistage"
+
+    def test_zero_lcs_rejected(self):
+        with pytest.raises(SimulationError):
+            default_fabric(0)

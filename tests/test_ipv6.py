@@ -1,0 +1,122 @@
+"""Tests for the IPv6 table substrate and 128-bit partitioning/tries."""
+
+import pytest
+
+from repro.core import partition_table
+from repro.routing import (
+    IPV6_WIDTH,
+    Prefix,
+    ipv6_addresses_matching,
+    make_ipv6_table,
+)
+from repro.tries import BinaryTrie, DPTrie, HashReferenceMatcher
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_ipv6_table(800, seed=3)
+
+
+class TestGenerator:
+    def test_size_and_width(self, table):
+        assert len(table) == 801  # routes + default
+        assert table.width == IPV6_WIDTH
+
+    def test_deterministic(self):
+        a = make_ipv6_table(100, seed=9)
+        b = make_ipv6_table(100, seed=9)
+        assert sorted(a.routes()) == sorted(b.routes())
+
+    def test_rooted_in_global_unicast(self, table):
+        for prefix in table.prefixes():
+            if prefix.length == 0:
+                continue
+            assert prefix.bit(0) == 0 and prefix.bit(1) == 0 and prefix.bit(2) == 1
+
+    def test_tier_lengths(self, table):
+        lengths = set(table.length_histogram())
+        assert 32 in lengths and 48 in lengths
+
+    def test_no_default_option(self):
+        t = make_ipv6_table(50, include_default=False)
+        assert not t.has_default_route()
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            make_ipv6_table(-1)
+
+    def test_addresses_covered(self, table):
+        for addr in ipv6_addresses_matching(table, 100, seed=1):
+            assert table.lookup_prefix(addr) is not None
+
+
+class TestIPv6Structures:
+    def test_binary_trie_matches_oracle(self, table):
+        trie = BinaryTrie(table)
+        for addr in ipv6_addresses_matching(table, 200, seed=2):
+            assert trie.lookup(addr) == table.lookup(addr)
+
+    def test_dp_trie_matches_oracle(self, table):
+        trie = DPTrie(table)
+        for addr in ipv6_addresses_matching(table, 200, seed=3):
+            assert trie.lookup(addr) == table.lookup(addr)
+
+    def test_hash_reference_matches_oracle(self, table):
+        trie = HashReferenceMatcher(table)
+        for addr in ipv6_addresses_matching(table, 200, seed=4):
+            assert trie.lookup(addr) == table.lookup(addr)
+
+    def test_partition_preserves_lpm_at_width_128(self, table):
+        for psi in (4, 6):
+            plan = partition_table(table, psi)
+            for addr in ipv6_addresses_matching(table, 150, seed=psi):
+                home = plan.home_lc(addr)
+                assert plan.tables[home].lookup(addr) == table.lookup(addr)
+
+    def test_partition_reduces_storage(self, table):
+        plan = partition_table(table, 8)
+        whole = BinaryTrie(table).storage_bytes()
+        assert max(BinaryTrie(t).storage_bytes() for t in plan.tables) < whole
+
+    def test_dp_trie_incremental_ipv6(self, table):
+        trie = DPTrie(width=IPV6_WIDTH)
+        for prefix, hop in table.routes():
+            trie.insert(prefix, hop)
+        victim = table.prefixes()[7]
+        trie.delete(victim)
+        reduced = table.copy()
+        reduced.remove(victim)
+        for addr in ipv6_addresses_matching(table, 100, seed=5):
+            assert trie.lookup(addr) == reduced.lookup(addr)
+
+
+class TestIPv6EndToEnd:
+    def test_simulation_at_width_128(self, table):
+        """Full SPAL cycle simulation over IPv6 with the partition
+        invariant dynamically verified on every FE lookup."""
+        from repro.core import CacheConfig, SpalConfig
+        from repro.sim import SpalSimulator
+        from repro.traffic import FlowPopulation, TraceSpec, generate_router_streams
+
+        spec = TraceSpec("v6", n_flows=300, recency=0.3, seed=7)
+        pop = FlowPopulation(spec, table)
+        streams = generate_router_streams(pop, 4, 600)
+        assert isinstance(streams[0], list)  # >64-bit addresses
+        sim = SpalSimulator(
+            table,
+            SpalConfig(n_lcs=4, cache=CacheConfig(n_blocks=256)),
+            verify=True,
+        )
+        result = sim.run(streams)
+        assert result.packets == 2400
+        assert result.overall_hit_rate > 0.3
+
+    def test_ipv6_streams_deterministic(self, table):
+        from repro.traffic import FlowPopulation, TraceSpec, generate_stream
+
+        spec = TraceSpec("v6", n_flows=100, seed=8)
+        pop = FlowPopulation(spec, table)
+        a = generate_stream(pop, 200)
+        b = generate_stream(pop, 200)
+        assert a == b
+        assert all(x >> 125 == 0b001 for x in a)  # global unicast

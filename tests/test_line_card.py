@@ -1,0 +1,104 @@
+"""Unit tests for the functional line-card model (FE + LR-cache)."""
+
+import pytest
+
+from repro.core import CacheConfig, LOC, REM
+from repro.core.line_card import ForwardingEngine, LineCard
+from repro.routing import Prefix, random_small_table
+from repro.tries import BinaryTrie
+
+
+@pytest.fixture
+def table():
+    return random_small_table(80, seed=31)
+
+
+class TestForwardingEngine:
+    def test_lookup_counts(self, table):
+        fe = ForwardingEngine(table, BinaryTrie)
+        addr = 0x0A000001
+        assert fe.lookup(addr) == table.lookup(addr)
+        fe.lookup(addr)
+        assert fe.stats.lookups == 2
+
+    def test_rebuild_after_update(self, table):
+        fe = ForwardingEngine(table, BinaryTrie)
+        prefix = Prefix.from_string("250.0.0.0/8")
+        table.update(prefix, 42)
+        # Stale until rebuilt (static structure semantics).
+        fe.rebuild()
+        assert fe.lookup(0xFA000001) == 42
+
+    def test_storage(self, table):
+        fe = ForwardingEngine(table, BinaryTrie)
+        assert fe.storage_bytes() == BinaryTrie(table).storage_bytes()
+
+    def test_stats_reset(self, table):
+        fe = ForwardingEngine(table, BinaryTrie)
+        fe.lookup(1)
+        fe.stats.reset()
+        assert fe.stats.lookups == 0
+
+
+class TestLineCard:
+    def make(self, table, cache=True):
+        config = CacheConfig(n_blocks=64, victim_blocks=4) if cache else None
+        return LineCard(0, table, BinaryTrie, cache_config=config)
+
+    def test_lookup_local_correct(self, table):
+        lc = self.make(table)
+        addr = 0x0A000001
+        assert lc.lookup_local(addr) == table.lookup(addr)
+
+    def test_second_lookup_hits_cache(self, table):
+        lc = self.make(table)
+        addr = 0x0A000001
+        lc.lookup_local(addr)
+        fe_before = lc.fe.stats.lookups
+        lc.lookup_local(addr)
+        assert lc.fe.stats.lookups == fe_before  # served from LR-cache
+
+    def test_no_cache_always_fe(self, table):
+        lc = self.make(table, cache=False)
+        addr = 0x0A000001
+        lc.lookup_local(addr)
+        lc.lookup_local(addr)
+        assert lc.fe.stats.lookups == 2
+
+    def test_record_remote(self, table):
+        lc = self.make(table)
+        lc.record_remote(0xC0000001, 7)
+        entry = lc.cache.peek(0xC0000001)
+        assert entry is not None
+        assert entry.mix == REM
+        assert entry.next_hop == 7
+
+    def test_record_remote_without_cache_is_noop(self, table):
+        lc = self.make(table, cache=False)
+        lc.record_remote(0xC0000001, 7)  # must not raise
+
+    def test_flush(self, table):
+        lc = self.make(table)
+        lc.lookup_local(0x0A000001)
+        lc.flush_cache()
+        assert lc.cache.occupancy() == 0
+
+    def test_storage_includes_cache(self, table):
+        with_cache = self.make(table)
+        without = self.make(table, cache=False)
+        assert (
+            with_cache.storage_bytes()
+            == without.storage_bytes() + with_cache.cache.storage_bytes()
+        )
+
+    def test_invalid_cache_config_rejected(self, table):
+        from repro.errors import CacheConfigError
+
+        with pytest.raises(CacheConfigError):
+            LineCard(0, table, BinaryTrie, cache_config=CacheConfig(mix=9.0))
+
+    def test_local_results_marked_loc(self, table):
+        lc = self.make(table)
+        addr = 0x0A000001
+        lc.lookup_local(addr, mix=LOC)
+        assert lc.cache.peek(addr).mix == LOC

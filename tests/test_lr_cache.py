@@ -1,0 +1,265 @@
+"""Tests for the LR-cache, victim cache and replacement policies."""
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.core import LOC, REM, LRCache, VictimCache, make_policy
+from repro.core.lr_cache import CacheEntry
+
+
+def filled_cache(**kw):
+    defaults = dict(n_blocks=8, associativity=4, mix=0.5, victim_blocks=0)
+    defaults.update(kw)
+    return LRCache(**defaults)
+
+
+class TestConfigValidation:
+    def test_bad_blocks(self):
+        with pytest.raises(CacheConfigError):
+            LRCache(n_blocks=0)
+
+    def test_bad_associativity(self):
+        with pytest.raises(CacheConfigError):
+            LRCache(n_blocks=10, associativity=4)  # 4 does not divide 10
+
+    def test_bad_mix(self):
+        with pytest.raises(CacheConfigError):
+            LRCache(n_blocks=8, mix=1.5)
+
+    def test_bad_policy(self):
+        with pytest.raises(CacheConfigError):
+            LRCache(n_blocks=8, policy="clock")
+
+    def test_negative_victim(self):
+        with pytest.raises(CacheConfigError):
+            LRCache(n_blocks=8, victim_blocks=-1)
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = filled_cache()
+        assert cache.probe(100) is None
+        entry = cache.allocate(100, LOC)
+        cache.fill(entry, 7)
+        hit = cache.probe(100)
+        assert hit is not None and not hit.waiting
+        assert hit.next_hop == 7
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_waiting_hit(self):
+        cache = filled_cache()
+        cache.probe(100)
+        entry = cache.allocate(100, LOC)
+        hit = cache.probe(100)
+        assert hit is entry and hit.waiting
+        assert cache.stats.waiting_hits == 1
+
+    def test_fill_returns_waiters(self):
+        cache = filled_cache()
+        entry = cache.allocate(100, LOC)
+        entry.waiters.extend(["pkt1", "pkt2"])
+        waiters = cache.fill(entry, 3)
+        assert waiters == ["pkt1", "pkt2"]
+        assert entry.waiters == []
+        assert not entry.waiting
+
+    def test_insert_complete(self):
+        cache = filled_cache()
+        assert cache.insert_complete(42, 5, REM)
+        hit = cache.probe(42)
+        assert hit.next_hop == 5 and hit.mix == REM
+
+    def test_flush(self):
+        cache = filled_cache()
+        cache.insert_complete(1, 1, LOC)
+        cache.insert_complete(2, 2, LOC)
+        cache.flush()
+        assert cache.occupancy() == 0
+        assert cache.probe(1) is None
+        assert cache.stats.flushes == 1
+
+    def test_occupancy_and_histogram(self):
+        cache = filled_cache()
+        cache.insert_complete(0, 1, LOC)
+        cache.insert_complete(2, 1, REM)  # different set
+        assert cache.occupancy() == 2
+        assert cache.mix_histogram() == {"LOC": 1, "REM": 1}
+
+    def test_storage_bytes_paper_sizing(self):
+        # Paper conclusion: 4K x 6 bytes = 24 KB (plus victim).
+        cache = LRCache(n_blocks=4096, victim_blocks=0)
+        assert cache.storage_bytes() == 4096 * 6
+
+
+class TestSetMapping:
+    def test_addresses_map_to_distinct_sets(self):
+        cache = filled_cache()  # 2 sets
+        # addresses 0 and 1 land in different sets (index = addr % n_sets).
+        cache.insert_complete(0, 1, LOC)
+        cache.insert_complete(1, 1, LOC)
+        assert len(cache._sets[0]) == 1
+        assert len(cache._sets[1]) == 1
+
+    def test_conflict_eviction_lru(self):
+        cache = filled_cache()  # 2 sets x 4 ways
+        # Fill one set with 4 LOC entries (addresses = 0 mod 2).
+        for a in (0, 2, 4, 6):
+            cache.insert_complete(a, 1, LOC)
+        cache.probe(0)  # touch 0 so 2 is LRU
+        cache.insert_complete(8, 1, LOC)
+        assert cache.peek(2) is None
+        assert cache.peek(0) is not None
+
+    def test_fifo_policy(self):
+        cache = filled_cache(policy="fifo")
+        for a in (0, 2, 4, 6):
+            cache.insert_complete(a, 1, LOC)
+        cache.probe(0)  # touching does not matter under FIFO
+        cache.insert_complete(8, 1, LOC)
+        assert cache.peek(0) is None
+
+    def test_random_policy_deterministic_with_seed(self):
+        def evicted_set():
+            cache = filled_cache(policy="random", policy_seed=3)
+            for a in (0, 2, 4, 6):
+                cache.insert_complete(a, 1, LOC)
+            cache.insert_complete(8, 1, LOC)
+            return {a for a in (0, 2, 4, 6) if cache.peek(a) is None}
+
+        assert evicted_set() == evicted_set()
+
+
+class TestMixReplacement:
+    def test_rem_over_target_evicted_first(self):
+        cache = filled_cache(mix=0.5)  # rem_target = 2
+        cache.insert_complete(0, 1, LOC)
+        cache.insert_complete(2, 1, REM)
+        cache.insert_complete(4, 1, REM)
+        cache.insert_complete(6, 1, REM)  # 3 REM > target 2
+        cache.insert_complete(8, 1, LOC)
+        # A REM entry must have been evicted, not the LOC one.
+        assert cache.peek(0) is not None
+        rem_left = sum(
+            1 for a in (2, 4, 6) if cache.peek(a) is not None
+        )
+        assert rem_left == 2
+
+    def test_loc_over_target_evicted_first(self):
+        cache = filled_cache(mix=0.5)
+        for a in (0, 2, 4):
+            cache.insert_complete(a, 1, LOC)  # 3 LOC > target 2
+        cache.insert_complete(6, 1, REM)
+        cache.insert_complete(8, 1, REM)
+        assert cache.peek(6) is not None
+        loc_left = sum(1 for a in (0, 2, 4) if cache.peek(a) is not None)
+        assert loc_left == 2
+
+    def test_mix_zero_rejects_rem_when_full_of_loc(self):
+        cache = filled_cache(mix=0.0)  # rem_target = 0
+        for a in (0, 2, 4, 6):
+            cache.insert_complete(a, 1, LOC)
+        assert not cache.insert_complete(8, 1, REM)  # bypass
+        assert cache.stats.bypasses == 1
+        assert all(cache.peek(a) is not None for a in (0, 2, 4, 6))
+
+    def test_mix_zero_still_evicts_existing_rem(self):
+        cache = filled_cache(mix=0.0)
+        cache.insert_complete(0, 1, REM)
+        for a in (2, 4, 6):
+            cache.insert_complete(a, 1, LOC)
+        cache.insert_complete(8, 1, LOC)  # set full; REM over target
+        assert cache.peek(0) is None
+
+    def test_balanced_insert_evicts_within_class(self):
+        cache = filled_cache(mix=0.5)
+        cache.insert_complete(0, 1, LOC)
+        cache.insert_complete(2, 1, LOC)
+        cache.insert_complete(4, 1, REM)
+        cache.insert_complete(6, 1, REM)
+        cache.insert_complete(8, 1, REM)  # both classes at target
+        # Insert is REM -> evict among REM (4 is LRU of the REMs).
+        assert cache.peek(0) is not None and cache.peek(2) is not None
+        assert cache.peek(4) is None
+
+    def test_waiting_entries_never_evicted(self):
+        cache = filled_cache()
+        entries = [cache.allocate(a, LOC) for a in (0, 2, 4, 6)]
+        assert all(e is not None for e in entries)
+        # All four waiting: a new insert must bypass.
+        assert cache.allocate(8, LOC) is None
+        assert cache.stats.bypasses == 1
+        assert all(cache.peek(a) is not None for a in (0, 2, 4, 6))
+
+    def test_mix_quarter_for_small_cache(self):
+        # Paper: gamma = 25% for 1K caches -> one block per set for REM.
+        cache = LRCache(n_blocks=1024, mix=0.25, victim_blocks=0)
+        assert cache.rem_target == 1
+
+
+class TestVictimCache:
+    def test_eviction_lands_in_victim(self):
+        cache = filled_cache(victim_blocks=4)
+        for a in (0, 2, 4, 6, 8):
+            cache.insert_complete(a, a, LOC)
+        # One of 0..6 was evicted into the victim cache.
+        assert len(cache.victim) == 1
+        evicted = [a for a in (0, 2, 4, 6) if a not in cache._sets[0]]
+        assert cache.victim.peek(evicted[0]) is not None
+
+    def test_victim_hit_swaps_back(self):
+        cache = filled_cache(victim_blocks=4)
+        for a in (0, 2, 4, 6, 8):
+            cache.insert_complete(a, a, LOC)
+        evicted = [a for a in (0, 2, 4, 6) if cache._sets[0].get(a) is None][0]
+        entry = cache.probe(evicted)
+        assert entry is not None and entry.next_hop == evicted
+        assert cache.stats.victim_hits == 1
+        assert cache._sets[0].get(evicted) is not None  # swapped back
+        assert cache.victim.peek(evicted) is None
+
+    def test_victim_capacity_bound(self):
+        victim = VictimCache(capacity=2)
+        for i, a in enumerate((1, 2, 3)):
+            e = CacheEntry(a, LOC, i)
+            e.waiting = False
+            victim.insert(e)
+        assert len(victim) == 2
+        assert victim.peek(1) is None  # LRU displaced
+
+    def test_victim_flush(self):
+        victim = VictimCache(capacity=2)
+        e = CacheEntry(5, LOC, 0)
+        victim.insert(e)
+        victim.flush()
+        assert len(victim) == 0
+
+    def test_victim_requires_positive_capacity(self):
+        with pytest.raises(CacheConfigError):
+            VictimCache(capacity=0)
+
+    def test_waiting_entries_not_put_in_victim(self):
+        cache = filled_cache(victim_blocks=4, mix=1.0)
+        # Fill with 3 complete + 1 waiting.
+        for a in (0, 2, 4):
+            cache.insert_complete(a, 1, REM)
+        cache.allocate(6, REM)
+        cache.insert_complete(8, 1, REM)  # evicts a complete entry
+        assert len(cache.victim) == 1
+
+
+class TestPolicies:
+    def test_make_policy(self):
+        assert make_policy("lru").name == "lru"
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("random").name == "random"
+        with pytest.raises(CacheConfigError):
+            make_policy("nope")
+
+    def test_hit_rate_property(self):
+        cache = filled_cache()
+        assert cache.stats.hit_rate == 0.0
+        cache.insert_complete(0, 1, LOC)
+        cache.probe(0)
+        cache.probe(100)
+        assert cache.stats.hit_rate == pytest.approx(0.5)

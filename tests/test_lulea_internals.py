@@ -1,0 +1,146 @@
+"""White-box tests for the Lulea trie's compressed level-1 structures.
+
+The codeword/base/maptable machinery must reconstruct, for every level-1
+slot, the number of heads at positions <= the slot — these tests verify
+that against a brute-force recount of the slot vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing import RoutingTable, random_small_table
+from repro.tries.lulea import (
+    DENSE_MAX_HEADS,
+    SPARSE_MAX_HEADS,
+    LuleaTrie,
+    _encode_chunk,
+    _encode_hop,
+)
+
+
+def heads_before_brute(slots, index):
+    """Heads at positions <= index, recomputed from raw slot values."""
+    count = 0
+    prev = None
+    for s in range(index + 1):
+        if prev is None or slots[s] != prev:
+            count += 1
+        prev = slots[s]
+    return count
+
+
+class TestEncoding:
+    def test_hop_encoding_even(self):
+        assert _encode_hop(-1) == 0
+        assert _encode_hop(0) == 2
+        assert _encode_hop(5) % 2 == 0
+
+    def test_chunk_encoding_odd(self):
+        assert _encode_chunk(0) == 1
+        assert _encode_chunk(7) % 2 == 1
+
+
+class TestLevel1Compression:
+    @pytest.fixture(scope="class")
+    def trie_and_slots(self):
+        table = random_small_table(600, seed=71, max_length=16)
+        trie = LuleaTrie(table)
+        # Reconstruct the raw slot vector the build compressed: lookup of
+        # (ix << 16) resolves the level-1 value directly since no route is
+        # longer than 16 bits here.
+        slots = [trie.lookup(ix << 16) for ix in range(1 << 16)]
+        return trie, slots
+
+    def test_pointer_index_reconstruction(self, trie_and_slots):
+        """codeword+base+maptable must agree with the brute-force head
+        count for a sample of slots."""
+        trie, slots = trie_and_slots
+        rng = np.random.default_rng(1)
+        for ix in rng.integers(0, 1 << 16, size=400):
+            ix = int(ix)
+            mask_i = ix >> 4
+            pos = ix & 15
+            row, offset = trie._l1_codewords[mask_i]
+            base = trie._l1_bases[mask_i >> 2]
+            pix = base + offset + trie._maptable[row][pos] - 1
+            # The pointer at pix must decode to this slot's value.
+            hop = (trie._l1_ptrs[pix] >> 1) - 1
+            assert hop == slots[ix]
+
+    def test_codeword_offsets_fit_six_bits(self, trie_and_slots):
+        trie, _ = trie_and_slots
+        assert all(0 <= off < 64 for _, off in trie._l1_codewords)
+
+    def test_base_indexes_monotone(self, trie_and_slots):
+        trie, _ = trie_and_slots
+        bases = trie._l1_bases
+        assert all(a <= b for a, b in zip(bases, bases[1:]))
+
+    def test_maptable_rows_are_running_popcounts(self, trie_and_slots):
+        trie, _ = trie_and_slots
+        for mask, row_id in trie._mask_rows.items():
+            row = trie._maptable[row_id]
+            running = 0
+            for pos in range(16):
+                if (mask >> (15 - pos)) & 1:
+                    running += 1
+                assert row[pos] == running
+
+    def test_maptable_shared_and_bounded(self, trie_and_slots):
+        trie, _ = trie_and_slots
+        # Distinct masks only (the whole point of the maptable); the
+        # original paper proves at most 678 distinct *complete* masks.
+        assert len(trie._maptable) == len(trie._mask_rows)
+        assert len(trie._maptable) <= 678 + 1  # +1 for the all-zero mask
+
+
+class TestChunkClassification:
+    def test_thresholds(self):
+        assert SPARSE_MAX_HEADS == 8
+        assert DENSE_MAX_HEADS == 64
+
+    def test_kinds_respect_head_counts(self):
+        from repro.routing import make_rt1
+
+        trie = LuleaTrie(make_rt1(size=4000))
+        for chunk in trie._chunks:
+            n_heads = len(chunk.ptrs)
+            if chunk.kind == "sparse":
+                assert n_heads <= SPARSE_MAX_HEADS
+                assert len(chunk.positions) == n_heads
+            elif chunk.kind == "dense":
+                assert SPARSE_MAX_HEADS < n_heads <= DENSE_MAX_HEADS
+                assert len(chunk.bases) == 1
+            else:
+                assert n_heads > DENSE_MAX_HEADS
+                assert len(chunk.bases) == 4
+
+    def test_sparse_positions_sorted_and_start_at_zero(self):
+        from repro.routing import make_rt1
+
+        trie = LuleaTrie(make_rt1(size=2000))
+        for chunk in trie._chunks:
+            if chunk.kind == "sparse":
+                assert chunk.positions[0] == 0
+                assert chunk.positions == sorted(chunk.positions)
+
+
+class TestStorageAccounting:
+    def test_storage_tracks_components(self):
+        table = random_small_table(400, seed=72)
+        trie = LuleaTrie(table)
+        total = trie.storage_bytes()
+        l1 = (
+            len(trie._l1_codewords) * 2
+            + len(trie._l1_bases) * 2
+            + len(trie._l1_ptrs) * 2
+            + len(trie._maptable) * 8
+        )
+        assert total >= l1
+        # Chunks account for the rest.
+        assert total - l1 == sum(
+            len(c.ptrs) * 2
+            + (len(c.positions) if c.kind == "sparse"
+               else len(c.codewords) * 2 + len(c.bases) * 2)
+            for c in trie._chunks
+        )

@@ -1,0 +1,48 @@
+"""Tests for the process-parallel sweep driver."""
+
+import pytest
+
+from repro.experiments.parallel import run_spal_grid, workers_from_env
+
+
+def _grid():
+    return [
+        dict(trace="D_75", n_lcs=2, cache_blocks=512, packets_per_lc=1200),
+        dict(trace="D_75", n_lcs=4, cache_blocks=512, packets_per_lc=1200),
+    ]
+
+
+class TestWorkersFromEnv:
+    def test_default_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() == 1
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert workers_from_env() == 4
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert workers_from_env() == 1
+
+    def test_floor_at_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert workers_from_env() == 1
+
+
+class TestGridRunner:
+    def test_sequential_order(self):
+        results = run_spal_grid(_grid(), workers=1)
+        assert [r.n_lcs for r in results] == [2, 4]
+        assert all(r.packets > 0 for r in results)
+
+    def test_parallel_matches_sequential(self):
+        """Determinism: worker count must not change any result."""
+        seq = run_spal_grid(_grid(), workers=1)
+        par = run_spal_grid(_grid(), workers=2)
+        for a, b in zip(seq, par):
+            assert a.mean_lookup_cycles == b.mean_lookup_cycles
+            assert a.fabric_messages == b.fabric_messages
+
+    def test_empty_grid(self):
+        assert run_spal_grid([], workers=2) == []

@@ -1,0 +1,180 @@
+"""Unit tests for repro.routing.prefix."""
+
+import pytest
+
+from repro.errors import PrefixError
+from repro.routing.prefix import (
+    IPV6_WIDTH,
+    WILDCARD,
+    Prefix,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Prefix(0xC0A80000, 16)
+        assert p.length == 16
+        assert p.width == 32
+
+    def test_zero_length_default(self):
+        p = Prefix.default()
+        assert p.length == 0
+        assert p.value == 0
+
+    def test_full_length(self):
+        p = Prefix(0xFFFFFFFF, 32)
+        assert p.length == 32
+
+    def test_host_bits_must_be_zero(self):
+        with pytest.raises(PrefixError):
+            Prefix(0xC0A80001, 16)
+
+    def test_length_out_of_range(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 33)
+        with pytest.raises(PrefixError):
+            Prefix(0, -1)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(PrefixError):
+            Prefix(1 << 32, 32)
+
+    def test_ipv6_width(self):
+        p = Prefix(0x2001 << 112, 16, width=IPV6_WIDTH)
+        assert p.width == 128
+        assert p.bit(0) == 0
+        assert p.bit(2) == 1  # 0x2001 = 0010 0000 0000 0001
+
+
+class TestParsing:
+    def test_dotted_quad(self):
+        p = Prefix.from_string("192.168.0.0/16")
+        assert p.value == 0xC0A80000
+        assert p.length == 16
+
+    def test_dotted_quad_zeroes_host_bits(self):
+        p = Prefix.from_string("192.168.1.1/16")
+        assert p.value == 0xC0A80000
+
+    def test_binary_notation(self):
+        p = Prefix.from_string("101*")
+        assert p.length == 3
+        assert p.value == 0b101 << 29
+
+    def test_binary_no_star(self):
+        p = Prefix.from_string("10110000", width=8)
+        assert p.length == 8
+
+    def test_binary_empty_star_is_default(self):
+        p = Prefix.from_string("*")
+        assert p.length == 0
+
+    def test_bad_inputs(self):
+        for bad in ["", "1.2.3.4", "1.2.3/8", "300.0.0.0/8", "1.2.3.4/40",
+                    "10*1*", "1.2.3.4/-1", "a.b.c.d/8"]:
+            with pytest.raises(PrefixError):
+                Prefix.from_string(bad)
+
+    def test_roundtrip_str(self):
+        p = Prefix.from_string("10.32.0.0/11")
+        assert Prefix.from_string(str(p)) == p
+
+    def test_to_binary_roundtrip(self):
+        p = Prefix.from_string("1011001*", width=8)
+        assert p.to_binary() == "1011001*"
+        assert Prefix.from_string(p.to_binary(), width=8) == p
+
+
+class TestBits:
+    def test_bit_positions_msb_first(self):
+        p = Prefix.from_string("10110*", width=8)
+        assert [p.bit(i) for i in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_wildcard_beyond_length(self):
+        p = Prefix.from_string("10*", width=8)
+        assert p.bit(2) == WILDCARD
+        assert p.bit(7) == WILDCARD
+
+    def test_bit_out_of_range(self):
+        p = Prefix.from_string("10*", width=8)
+        with pytest.raises(PrefixError):
+            p.bit(8)
+
+    def test_bits_iterator(self):
+        p = Prefix.from_string("0110*", width=8)
+        assert list(p.bits()) == [0, 1, 1, 0]
+
+    def test_extended(self):
+        p = Prefix.from_string("10*", width=8)
+        assert p.extended(1).to_binary() == "101*"
+        assert p.extended(0).to_binary() == "100*"
+
+    def test_extend_full_raises(self):
+        p = Prefix(0, 8, width=8)
+        with pytest.raises(PrefixError):
+            p.extended(0)
+
+
+class TestRelations:
+    def test_matches(self):
+        p = Prefix.from_string("192.168.0.0/16")
+        assert p.matches(0xC0A80101)
+        assert not p.matches(0xC0A90101)
+
+    def test_default_matches_everything(self):
+        p = Prefix.default()
+        assert p.matches(0)
+        assert p.matches(0xFFFFFFFF)
+
+    def test_contains(self):
+        outer = Prefix.from_string("10.0.0.0/8")
+        inner = Prefix.from_string("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert outer.contains(outer)
+        assert not inner.contains(outer)
+
+    def test_contains_disjoint(self):
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix.from_string("11.0.0.0/8")
+        assert not a.contains(b)
+
+    def test_first_last_address(self):
+        p = Prefix.from_string("10.0.0.0/8")
+        assert p.first_address() == 0x0A000000
+        assert p.last_address() == 0x0AFFFFFF
+
+    def test_hash_and_eq(self):
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix.from_string("10.0.0.0/8")
+        c = Prefix.from_string("10.0.0.0/9")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_width_matters_for_eq(self):
+        a = Prefix(0, 0, width=32)
+        b = Prefix(0, 0, width=128)
+        assert a != b
+
+    def test_ordering(self):
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix.from_string("10.0.0.0/9")
+        c = Prefix.from_string("11.0.0.0/8")
+        assert sorted([c, b, a]) == [a, b, c]
+
+
+class TestHelpers:
+    def test_parse_ipv4(self):
+        assert parse_ipv4("1.2.3.4") == 0x01020304
+
+    def test_parse_ipv4_errors(self):
+        for bad in ["1.2.3", "1.2.3.4.5", "256.0.0.1", "x.0.0.1"]:
+            with pytest.raises(PrefixError):
+                parse_ipv4(bad)
+
+    def test_format_ipv4(self):
+        assert format_ipv4(0x01020304) == "1.2.3.4"
+        assert format_ipv4(0) == "0.0.0.0"
+        assert format_ipv4(0xFFFFFFFF) == "255.255.255.255"

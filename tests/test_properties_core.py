@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the SPAL core: LR-cache invariants
+and the partition-preserving-LPM theorem."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LOC, REM, LRCache, partition_table
+from repro.routing import Prefix, RoutingTable
+
+
+# ---------------------------------------------------------------------------
+# LR-cache invariants under arbitrary operation sequences
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["probe", "alloc", "insert", "flush"]),
+        st.integers(0, 63),          # address
+        st.sampled_from([LOC, REM]),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def drive(cache: LRCache, sequence) -> None:
+    pending = []
+    for op, addr, mix in sequence:
+        if op == "probe":
+            cache.probe(addr)
+        elif op == "alloc":
+            entry = cache.allocate(addr, mix)
+            if entry is not None:
+                pending.append(entry)
+                # Fill every other allocation, leaving some waiting.
+                if len(pending) % 2 == 0:
+                    cache.fill(entry, addr % 8)
+        elif op == "insert":
+            cache.insert_complete(addr, addr % 8, mix)
+        else:
+            cache.flush()
+            pending.clear()
+
+
+class TestCacheInvariants:
+    @given(ops, st.sampled_from([8, 16, 32]), st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_never_exceeded(self, sequence, blocks, mix):
+        cache = LRCache(n_blocks=blocks, associativity=4, mix=mix, victim_blocks=4)
+        drive(cache, sequence)
+        assert cache.occupancy() <= cache.n_blocks
+        for s in cache._sets:
+            assert len(s) <= cache.associativity
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_entries_are_where_they_hash(self, sequence):
+        cache = LRCache(n_blocks=16, associativity=4, victim_blocks=0)
+        drive(cache, sequence)
+        for set_index, s in enumerate(cache._sets):
+            for addr, entry in s.items():
+                assert addr % cache.n_sets == set_index
+                assert entry.address == addr
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_stats_balance(self, sequence):
+        cache = LRCache(n_blocks=16, associativity=4, victim_blocks=4)
+        drive(cache, sequence)
+        s = cache.stats
+        assert s.hits + s.waiting_hits + s.victim_hits + s.misses == s.lookups
+        assert 0.0 <= s.hit_rate <= 1.0
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_waiting_entries_survive_inserts(self, sequence):
+        """Allocated-but-unfilled entries are never evicted by later traffic
+        (flushes excepted)."""
+        cache = LRCache(n_blocks=8, associativity=4, victim_blocks=0)
+        entry = cache.allocate(0, LOC)
+        assert entry is not None
+        flushed = any(op == "flush" for op, _, _ in sequence)
+        drive(cache, sequence)
+        if not flushed:
+            # The entry object survives in its slot (it may have been
+            # filled through a deduplicated allocate, but never evicted
+            # nor replaced while waiting).
+            assert cache._sets[0].get(0) is entry
+
+    @given(ops, st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+    @settings(max_examples=100, deadline=None)
+    def test_mix_targets_respected_at_steady_state(self, sequence, mix):
+        """No set ends up with more REM entries than its target once it has
+        seen eviction pressure (full set + a completed insert of each
+        class)."""
+        cache = LRCache(n_blocks=8, associativity=4, mix=mix, victim_blocks=0)
+        drive(cache, sequence)
+        # Apply deterministic pressure: fill one set beyond capacity.
+        for addr in range(0, 16, 2):
+            cache.insert_complete(addr, 1, LOC)
+        for addr in range(16, 20, 2):
+            cache.insert_complete(addr, 1, REM)
+        s = cache._sets[0]
+        n_rem = sum(1 for e in s.values() if e.mix == REM and not e.waiting)
+        waiting = sum(1 for e in s.values() if e.waiting)
+        # Waiting entries are un-evictable and may hold REM slots hostage.
+        assert n_rem <= cache.rem_target + waiting
+
+
+# ---------------------------------------------------------------------------
+# Partitioning: LPM preservation for arbitrary tables and ψ
+# ---------------------------------------------------------------------------
+
+@st.composite
+def prefix_tables(draw):
+    routes = draw(
+        st.lists(
+            st.tuples(st.integers(0, (1 << 32) - 1), st.integers(0, 32),
+                      st.integers(0, 15)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    table = RoutingTable()
+    for value, length, hop in routes:
+        mask = ((1 << length) - 1) << (32 - length) if length else 0
+        table.update(Prefix(value & mask, length), hop)
+    return table
+
+
+class TestPartitionTheorem:
+    @given(
+        prefix_tables(),
+        st.integers(1, 9),
+        st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=25),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_lpm_preserved(self, table, psi, addresses):
+        plan = partition_table(table, psi)
+        for addr in addresses:
+            home = plan.home_lc(addr)
+            assert plan.tables[home].lookup(addr) == table.lookup(addr)
+
+    @given(prefix_tables(), st.integers(1, 9))
+    @settings(max_examples=100, deadline=None)
+    def test_every_lc_has_a_table(self, table, psi):
+        plan = partition_table(table, psi)
+        assert len(plan.tables) == psi
+        assert len(plan.lc_of_pattern) == 1 << len(plan.bits)
+        assert set(plan.lc_of_pattern) == set(range(psi))
+
+    @given(prefix_tables(), st.integers(2, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_replication_bounded_by_pattern_count(self, table, psi):
+        plan = partition_table(table, psi)
+        total = sum(plan.partition_sizes())
+        assert len(table) <= total <= len(table) * (1 << len(plan.bits))

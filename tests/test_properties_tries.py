@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for prefixes and LPM structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import Prefix, RoutingTable
+from repro.tries import (
+    BinaryTrie,
+    Dir24_8,
+    DPTrie,
+    HashReferenceMatcher,
+    LCTrie,
+    LuleaTrie,
+    MultibitTrie,
+)
+
+
+@st.composite
+def prefixes(draw, width=32, max_length=None):
+    length = draw(st.integers(0, max_length or width))
+    value = draw(st.integers(0, (1 << width) - 1))
+    mask = ((1 << length) - 1) << (width - length) if length else 0
+    return Prefix(value & mask, length, width)
+
+
+@st.composite
+def tables(draw, min_routes=1, max_routes=40, width=32, max_length=None):
+    routes = draw(
+        st.lists(
+            st.tuples(prefixes(width, max_length), st.integers(0, 63)),
+            min_size=min_routes,
+            max_size=max_routes,
+        )
+    )
+    table = RoutingTable(width)
+    for prefix, hop in routes:
+        table.update(prefix, hop)
+    return table
+
+
+addresses = st.integers(0, (1 << 32) - 1)
+
+
+class TestPrefixProperties:
+    @given(prefixes())
+    def test_roundtrip_binary_notation(self, p):
+        assert Prefix.from_string(p.to_binary() or "*", p.width) == p
+
+    @given(prefixes())
+    def test_matches_own_range_endpoints(self, p):
+        assert p.matches(p.first_address())
+        assert p.matches(p.last_address())
+
+    @given(prefixes(), prefixes())
+    def test_containment_is_range_inclusion(self, a, b):
+        contained = a.contains(b)
+        range_incl = (
+            a.first_address() <= b.first_address()
+            and b.last_address() <= a.last_address()
+        )
+        assert contained == range_incl
+
+    @given(prefixes(), addresses)
+    def test_bitwise_match_equivalence(self, p, addr):
+        bitwise = all(
+            ((addr >> (31 - i)) & 1) == p.bit(i) for i in range(p.length)
+        )
+        assert p.matches(addr) == bitwise
+
+
+class TestTrieEquivalence:
+    """Every structure must agree with the reference oracle on any table."""
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_binary_trie(self, table, addrs):
+        trie = BinaryTrie(table)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_dp_trie(self, table, addrs):
+        trie = DPTrie(table)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_lulea(self, table, addrs):
+        trie = LuleaTrie(table)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_lc_trie(self, table, addrs):
+        trie = LCTrie(table)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(
+        tables(),
+        st.lists(addresses, min_size=1, max_size=30),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lc_trie_any_fill_factor(self, table, addrs, fill):
+        trie = LCTrie(table, fill_factor=fill)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_multibit(self, table, addrs):
+        trie = MultibitTrie(table)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_dir24(self, table, addrs):
+        trie = Dir24_8(table, first_stride=12)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+    @given(tables(), st.lists(addresses, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_hash_reference(self, table, addrs):
+        trie = HashReferenceMatcher(table)
+        for a in addrs:
+            assert trie.lookup(a) == table.lookup(a)
+
+
+class TestIncrementalProperties:
+    @given(tables(min_routes=2, max_routes=25), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_binary_trie_delete_matches_rebuild(self, table, data):
+        trie = BinaryTrie(table)
+        victim = data.draw(st.sampled_from(table.prefixes()))
+        trie.delete(victim)
+        reduced = table.copy()
+        reduced.remove(victim)
+        rebuilt = BinaryTrie(reduced)
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 1 << 32, size=50):
+            assert trie.lookup(int(a)) == rebuilt.lookup(int(a))
+
+    @given(tables(min_routes=2, max_routes=25), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_dp_trie_delete_matches_rebuild(self, table, data):
+        trie = DPTrie(table)
+        victim = data.draw(st.sampled_from(table.prefixes()))
+        trie.delete(victim)
+        reduced = table.copy()
+        reduced.remove(victim)
+        rebuilt = DPTrie(reduced)
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 1 << 32, size=50):
+            assert trie.lookup(int(a)) == rebuilt.lookup(int(a))
+
+    @given(tables(min_routes=1, max_routes=25))
+    @settings(max_examples=40, deadline=None)
+    def test_dp_trie_walk_returns_all_routes(self, table):
+        trie = DPTrie(table)
+        assert sorted(trie.walk()) == sorted(table.routes())
+
+    @given(tables(min_routes=1, max_routes=25))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_order_irrelevant(self, table):
+        routes = list(table.routes())
+        forward = DPTrie(width=32)
+        backward = DPTrie(width=32)
+        for p, h in routes:
+            forward.insert(p, h)
+        for p, h in reversed(routes):
+            backward.insert(p, h)
+        rng = np.random.default_rng(1)
+        for a in rng.integers(0, 1 << 32, size=50):
+            assert forward.lookup(int(a)) == backward.lookup(int(a))

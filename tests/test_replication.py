@@ -1,0 +1,139 @@
+"""Tests for pattern replication (load spreading + fault tolerance)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.core import apply_route_update, partition_table
+from repro.routing import Prefix, random_small_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return random_small_table(300, seed=81)
+
+
+class TestReplicatedPlan:
+    def test_lpm_preserved_on_every_replica(self, table):
+        plan = partition_table(table, 8, replicas=2)
+        rng = np.random.default_rng(1)
+        for a in rng.integers(0, 1 << 32, size=300):
+            a = int(a)
+            # Not just the chosen home: EVERY replica must answer correctly.
+            pattern_lcs = plan.replicas_of_pattern[
+                __import__("repro").core.pattern_of(a, plan.bits, 32)
+            ]
+            for lc in pattern_lcs:
+                assert plan.tables[lc].lookup(a) == table.lookup(a)
+
+    def test_home_is_always_a_replica(self, table):
+        plan = partition_table(table, 8, replicas=3)
+        from repro.core import pattern_of
+
+        rng = np.random.default_rng(2)
+        for a in rng.integers(0, 1 << 32, size=200):
+            a = int(a)
+            home = plan.home_lc(a)
+            assert home in plan.replicas_of_pattern[pattern_of(a, plan.bits, 32)]
+
+    def test_tables_grow_roughly_replica_fold(self, table):
+        single = partition_table(table, 8, replicas=1)
+        double = partition_table(table, 8, replicas=2)
+        assert sum(double.partition_sizes()) > 1.5 * sum(single.partition_sizes())
+
+    def test_replica_choice_deterministic_per_address(self, table):
+        plan = partition_table(table, 8, replicas=2)
+        for a in (0x0A000001, 0xC0A80101):
+            assert plan.home_lc(a) == plan.home_lc(a)
+
+    def test_load_spreads_across_replicas(self, table):
+        plan = partition_table(table, 4, replicas=2)
+        rng = np.random.default_rng(3)
+        homes = [plan.home_lc(int(a)) for a in rng.integers(0, 1 << 32, size=2000)]
+        counts = np.bincount(homes, minlength=4)
+        # With 2 replicas per pattern no LC should dominate.
+        assert counts.max() < 2 * counts.min() + 50
+
+    def test_validation(self, table):
+        with pytest.raises(PartitionError):
+            partition_table(table, 4, replicas=0)
+        with pytest.raises(PartitionError):
+            partition_table(table, 4, replicas=5)
+
+    def test_unreplicated_plan_unchanged(self, table):
+        plan = partition_table(table, 8, replicas=1)
+        assert plan.replicas_of_pattern is None
+
+
+class TestFailover:
+    def test_failed_lc_skipped(self, table):
+        plan = partition_table(table, 4, replicas=2)
+        rng = np.random.default_rng(4)
+        addrs = [int(a) for a in rng.integers(0, 1 << 32, size=500)]
+        plan.fail_lc(2)
+        for a in addrs:
+            home = plan.home_lc(a)
+            assert home != 2
+            assert plan.tables[home].lookup(a) == table.lookup(a)
+
+    def test_restore(self, table):
+        plan = partition_table(table, 4, replicas=2)
+        plan.fail_lc(1)
+        plan.restore_lc(1)
+        rng = np.random.default_rng(5)
+        homes = {plan.home_lc(int(a)) for a in rng.integers(0, 1 << 32, size=800)}
+        assert 1 in homes
+
+    def test_unreplicated_failure_is_fatal_for_its_patterns(self, table):
+        plan = partition_table(table, 4, replicas=1)
+        # Without replicas_of_pattern, fail_lc records the failure but
+        # home_lc (paper semantics) cannot route around it.
+        plan.fail_lc(0)
+        assert 0 in plan.failed_lcs
+
+    def test_all_replicas_failed_raises(self, table):
+        plan = partition_table(table, 4, replicas=2)
+        from repro.core import pattern_of
+
+        addr = 0x0A000001
+        replicas = plan.replicas_of_pattern[pattern_of(addr, plan.bits, 32)]
+        for lc in replicas:
+            plan.fail_lc(lc)
+        with pytest.raises(PartitionError):
+            plan.home_lc(addr)
+
+    def test_fail_out_of_range(self, table):
+        plan = partition_table(table, 4, replicas=2)
+        with pytest.raises(PartitionError):
+            plan.fail_lc(9)
+
+
+class TestReplicatedUpdates:
+    def test_update_touches_all_replicas(self, table):
+        plan = partition_table(table, 8, replicas=2)
+        prefix = Prefix.from_string("99.99.0.0/16")
+        touched = apply_route_update(plan, prefix, 42)
+        from repro.core import patterns_of_prefix
+
+        expected = set()
+        for pattern in patterns_of_prefix(prefix, plan.bits):
+            expected.update(plan.replicas_of_pattern[pattern])
+        assert set(touched) == expected
+        for lc in touched:
+            assert plan.tables[lc].get(prefix) == 42
+
+
+class TestReplicationExperiment:
+    def test_replication_cures_hotspot(self):
+        from repro.experiments import run_replication
+
+        result = run_replication(packets_per_lc=4000)
+        by_variant = {r["variant"]: r for r in result.rows}
+        exact = by_variant["paper-exact (2 bits, r=1)"]
+        replicated = by_variant["paper-exact bits, r=2"]
+        # Replication must beat the unreplicated paper-exact scheme on both
+        # latency and load balance at psi=3.
+        assert replicated["mean_cycles"] < exact["mean_cycles"]
+        assert replicated["fe_imbalance"] < exact["fe_imbalance"]
+        # ...at the cost of larger forwarding tables.
+        assert replicated["max_partition"] > exact["max_partition"]

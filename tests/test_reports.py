@@ -1,0 +1,49 @@
+"""Tests for the cross-structure comparison reports (tries.reports)."""
+
+import pytest
+
+from repro.routing import random_small_table
+from repro.tries import compare_structures, render_comparison
+from repro.tries.binary_trie import BinaryTrie
+
+
+@pytest.fixture(scope="module")
+def rows():
+    table = random_small_table(300, seed=41)
+    return compare_structures(table, n_addresses=500)
+
+
+class TestCompareStructures:
+    def test_all_default_structures_present(self, rows):
+        names = {r["name"] for r in rows}
+        assert {"binary", "DP", "Lulea", "LC (ff=0.25)", "multibit 16/8/8",
+                "DIR-24-8"} <= names
+
+    def test_fields_populated(self, rows):
+        for row in rows:
+            assert row["storage_kb"] > 0
+            assert row["build_ms"] >= 0
+            assert row["mean_accesses"] >= 1.0
+            assert row["worst_accesses"] >= row["mean_accesses"] - 1e-9
+            assert row["fe_cycles"] >= 25  # >= code-exec floor (120ns/5ns)
+
+    def test_qualitative_orderings(self, rows):
+        by_name = {r["name"]: r for r in rows}
+        # Fewer accesses as structures specialize.
+        assert by_name["Lulea"]["mean_accesses"] < by_name["binary"]["mean_accesses"]
+        assert by_name["DIR-24-8"]["worst_accesses"] <= 2
+        # The hardware design buys speed with memory.
+        assert by_name["DIR-24-8"]["storage_kb"] > by_name["Lulea"]["storage_kb"]
+
+    def test_custom_factories(self):
+        table = random_small_table(50, seed=42)
+        rows = compare_structures(
+            table, n_addresses=100, factories={"only-binary": BinaryTrie}
+        )
+        assert len(rows) == 1
+        assert rows[0]["name"] == "only-binary"
+
+    def test_render(self, rows):
+        text = render_comparison(rows)
+        assert "storage_kb" in text
+        assert "Lulea" in text

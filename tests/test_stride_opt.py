@@ -1,0 +1,114 @@
+"""Tests for optimal fixed-stride selection (tries.stride_opt)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import RoutingTable, random_small_table
+from repro.tries import MultibitTrie
+from repro.tries.stride_opt import (
+    internal_nodes_per_depth,
+    nodes_per_depth,
+    optimal_strides,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return random_small_table(400, seed=91)
+
+
+class TestNodesPerDepth:
+    def test_root_always_one(self, table):
+        counts = nodes_per_depth(table)
+        assert counts[0] == 1
+        assert len(counts) == 33
+
+    def test_total_matches_binary_trie(self, table):
+        from repro.tries import BinaryTrie
+
+        counts = nodes_per_depth(table)
+        assert sum(counts) == BinaryTrie(table).node_count
+
+    def test_internal_counts_bounded_by_totals(self, table):
+        totals = nodes_per_depth(table)
+        internals = internal_nodes_per_depth(table)
+        assert all(i <= t for i, t in zip(internals[1:], totals[1:]))
+        assert internals[0] == 1
+
+    def test_empty_table(self):
+        counts = nodes_per_depth(RoutingTable())
+        assert counts[0] == 1
+        assert sum(counts) == 1
+
+
+class TestOptimalStrides:
+    def test_strides_cover_width(self, table):
+        for k in (2, 3, 4):
+            strides, _ = optimal_strides(table, max_levels=k)
+            assert sum(strides) == 32
+            assert all(s > 0 for s in strides)
+
+    def test_dp_estimate_matches_built_trie(self, table):
+        """The DP cost model must agree exactly with the constructed
+        multibit trie's entry count."""
+        for k in (2, 3, 4):
+            strides, entries = optimal_strides(table, max_levels=k)
+            built = MultibitTrie(table, strides=tuple(strides))
+            assert built.entry_count == entries
+
+    def test_memory_no_worse_than_default(self, table):
+        strides, _ = optimal_strides(table, max_levels=3)
+        default = MultibitTrie(table, strides=(16, 8, 8))
+        optimal = MultibitTrie(table, strides=tuple(strides))
+        assert optimal.entry_count <= default.entry_count
+
+    def test_more_levels_never_cost_more_memory(self, table):
+        totals = [optimal_strides(table, max_levels=k)[1] for k in (2, 3, 4, 5)]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_correct_lookups_with_optimal_strides(self, table):
+        strides, _ = optimal_strides(table, max_levels=4)
+        trie = MultibitTrie(table, strides=tuple(strides))
+        rng = np.random.default_rng(1)
+        for a in rng.integers(0, 1 << 32, size=300):
+            assert trie.lookup(int(a)) == table.lookup(int(a))
+
+    def test_shallow_table_single_level(self):
+        # A table no deeper than max_stride fits one real level; the tail
+        # levels are free (never descended).
+        shallow = random_small_table(30, seed=92, max_length=10)
+        strides, entries = optimal_strides(shallow, max_levels=1)
+        assert strides[0] == 10
+        assert entries == 1 << 10
+        trie = MultibitTrie(shallow, strides=tuple(strides))
+        assert trie.entry_count == entries
+
+    def test_deep_table_single_level_infeasible(self, table):
+        with pytest.raises(ValueError):
+            optimal_strides(table, max_levels=1)  # 32 bits > max_stride
+
+    def test_validation(self, table):
+        with pytest.raises(ValueError):
+            optimal_strides(table, max_levels=0)
+        with pytest.raises(ValueError):
+            optimal_strides(table, max_stride=0)
+
+
+class TestStrideExperiment:
+    def test_optimum_beats_habit(self):
+        from repro.experiments import run_stride_optimization
+
+        result = run_stride_optimization()
+        for table in ("RT_1", "RT_2"):
+            rows = [r for r in result.rows if r["table"] == table]
+            habit = next(r for r in rows if "habit" in r["strides"])
+            opt3 = next(
+                r for r in rows
+                if r["levels"] == 3 and "habit" not in r["strides"]
+            )
+            assert opt3["entries"] <= habit["entries"]
+        # More levels always at least as compact.
+        rt1 = [r for r in result.rows
+               if r["table"] == "RT_1" and "habit" not in r["strides"]]
+        entries = [r["entries"] for r in sorted(rt1, key=lambda r: r["levels"])]
+        assert all(a >= b for a, b in zip(entries, entries[1:]))

@@ -1,0 +1,132 @@
+"""Tests for the synthetic BGP table generators (RT_1 / RT_2 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    Prefix,
+    RoutingTable,
+    addresses_matching,
+    distributions,
+    generate_table,
+    make_rt1,
+    make_rt2,
+    random_small_table,
+)
+from repro.routing.synthetic import RT1_PROFILE, RT2_PROFILE, TableProfile
+
+
+@pytest.fixture(scope="module")
+def rt1_small():
+    return make_rt1(size=4000)
+
+
+class TestDistributions:
+    def test_normalize(self):
+        norm = distributions.normalize({8: 2.0, 24: 6.0})
+        assert norm[8] == pytest.approx(0.25)
+        assert norm[24] == pytest.approx(0.75)
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(ValueError):
+            distributions.normalize({8: 0.0})
+
+    def test_backbone_shape_matches_paper_claims(self):
+        # >83% of prefixes no longer than 24 bits (paper Sec. 3.1).
+        assert distributions.share_at_most(distributions.BACKBONE_2003, 24) > 0.83
+        # /24 around half of all prefixes (paper Sec. 2.3).
+        norm = distributions.normalize(distributions.BACKBONE_2003)
+        assert 0.45 < norm[24] < 0.60
+        # A non-empty /32 tail (paper Sec. 2.2).
+        assert norm[32] > 0.0
+
+    def test_sample_lengths_range(self):
+        rng = np.random.default_rng(0)
+        lengths = distributions.sample_lengths(
+            distributions.BACKBONE_2003, 1000, rng
+        )
+        assert lengths.min() >= 8
+        assert lengths.max() <= 32
+
+
+class TestGenerators:
+    def test_exact_size(self, rt1_small):
+        # size + default route
+        assert len(rt1_small) == 4001
+
+    def test_deterministic(self):
+        a = make_rt1(seed=7, size=500)
+        b = make_rt1(seed=7, size=500)
+        assert sorted(a.routes()) == sorted(b.routes())
+
+    def test_seed_changes_table(self):
+        a = make_rt1(seed=7, size=500)
+        b = make_rt1(seed=8, size=500)
+        assert sorted(a.routes()) != sorted(b.routes())
+
+    def test_default_route_present(self, rt1_small):
+        assert rt1_small.has_default_route()
+
+    def test_length_histogram_roughly_matches(self):
+        table = make_rt2(size=20000)
+        hist = table.length_histogram()
+        total = sum(hist.values())
+        # /24 should dominate.
+        assert hist.get(24, 0) / total > 0.35
+        # >80% at length <= 24.
+        le24 = sum(c for l, c in hist.items() if l <= 24)
+        assert le24 / total > 0.80
+
+    def test_has_nested_exceptions(self, rt1_small):
+        # A realistic table contains prefixes nested inside others.
+        prefixes = sorted(rt1_small.prefixes())
+        nested = 0
+        for a, b in zip(prefixes, prefixes[1:]):
+            if a.length and a.contains(b):
+                nested += 1
+        assert nested > 50
+
+    def test_default_profiles_sizes(self):
+        assert RT1_PROFILE.size == 41_709
+        assert RT2_PROFILE.size == 140_838
+
+    def test_custom_profile(self):
+        profile = TableProfile(
+            size=100,
+            length_histogram={16: 1.0},
+            exception_fraction=0.0,
+            include_default=False,
+        )
+        table = generate_table(profile, seed=3)
+        assert len(table) == 100
+        assert all(p.length == 16 for p in table)
+
+
+class TestRandomSmallTable:
+    def test_size_and_default(self):
+        table = random_small_table(50, seed=1)
+        assert len(table) == 51
+        assert table.has_default_route()
+
+    def test_no_default(self):
+        table = random_small_table(10, seed=1, include_default=False)
+        assert len(table) == 10
+        assert not table.has_default_route()
+
+    def test_max_length_respected(self):
+        table = random_small_table(30, seed=2, max_length=12)
+        assert max(p.length for p in table.prefixes() if p.length) <= 12
+
+
+class TestAddressesMatching:
+    def test_all_addresses_covered(self):
+        table = random_small_table(40, seed=3, include_default=False)
+        addrs = addresses_matching(table, 200, seed=4)
+        for a in addrs:
+            assert table.lookup_prefix(int(a)) is not None
+
+    def test_deterministic(self):
+        table = random_small_table(10, seed=3)
+        a = addresses_matching(table, 50, seed=9)
+        b = addresses_matching(table, 50, seed=9)
+        assert (a == b).all()

@@ -1,0 +1,125 @@
+"""Unit tests for repro.routing.table and textio."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.routing import NO_ROUTE, Prefix, RoutingTable, textio
+
+
+@pytest.fixture
+def paper_table():
+    """The 7-prefix example from Sec. 3.1 of the paper (8-bit width)."""
+    routes = [
+        ("101*", 1),      # P1
+        ("1011*", 2),     # P2
+        ("01*", 3),       # P3
+        ("001110*", 4),   # P4
+        ("10010011", 5),  # P5
+        ("10011*", 6),    # P6
+        ("011001*", 7),   # P7
+    ]
+    return RoutingTable.from_strings(routes, width=8)
+
+
+class TestMutation:
+    def test_add_and_len(self, paper_table):
+        assert len(paper_table) == 7
+
+    def test_add_duplicate_raises(self, paper_table):
+        with pytest.raises(TableError):
+            paper_table.add(Prefix.from_string("101*", width=8), 9)
+
+    def test_update_overwrites(self, paper_table):
+        p = Prefix.from_string("101*", width=8)
+        paper_table.update(p, 9)
+        assert paper_table.get(p) == 9
+        assert len(paper_table) == 7
+
+    def test_remove(self, paper_table):
+        p = Prefix.from_string("101*", width=8)
+        assert paper_table.remove(p) == 1
+        assert p not in paper_table
+        with pytest.raises(TableError):
+            paper_table.remove(p)
+
+    def test_width_mismatch(self, paper_table):
+        with pytest.raises(TableError):
+            paper_table.add(Prefix.from_string("10.0.0.0/8"), 1)
+
+    def test_version_bumps(self, paper_table):
+        v = paper_table.version
+        paper_table.update(Prefix.from_string("111*", width=8), 1)
+        assert paper_table.version == v + 1
+
+
+class TestLookup:
+    def test_longest_wins(self, paper_table):
+        # 1011xxxx matches P1 (101*) and P2 (1011*): P2 wins.
+        assert paper_table.lookup(0b10110000) == 2
+
+    def test_shorter_when_no_longer(self, paper_table):
+        # 1010xxxx matches only P1.
+        assert paper_table.lookup(0b10100000) == 1
+
+    def test_exact_32bit_prefix(self, paper_table):
+        assert paper_table.lookup(0b10010011) == 5
+
+    def test_no_route(self, paper_table):
+        assert paper_table.lookup(0b11000000) == NO_ROUTE
+
+    def test_default_route_catches_all(self, paper_table):
+        paper_table.update(Prefix.default(8), 99)
+        assert paper_table.lookup(0b11000000) == 99
+        assert paper_table.lookup(0b10110000) == 2  # still longest
+
+    def test_lookup_prefix(self, paper_table):
+        p = paper_table.lookup_prefix(0b10110000)
+        assert p == Prefix.from_string("1011*", width=8)
+        assert paper_table.lookup_prefix(0b11000000) is None
+
+
+class TestQueries:
+    def test_length_histogram(self, paper_table):
+        hist = paper_table.length_histogram()
+        assert hist == {2: 1, 3: 1, 4: 1, 5: 1, 6: 2, 8: 1}
+
+    def test_next_hops(self, paper_table):
+        assert set(paper_table.next_hops()) == set(range(1, 8))
+
+    def test_has_default_route(self, paper_table):
+        assert not paper_table.has_default_route()
+        paper_table.update(Prefix.default(8), 0)
+        assert paper_table.has_default_route()
+
+    def test_copy_is_independent(self, paper_table):
+        clone = paper_table.copy()
+        clone.remove(Prefix.from_string("101*", width=8))
+        assert len(paper_table) == 7
+        assert len(clone) == 6
+
+    def test_iteration_order_is_insertion(self, paper_table):
+        prefixes = paper_table.prefixes()
+        assert prefixes[0] == Prefix.from_string("101*", width=8)
+        assert prefixes[-1] == Prefix.from_string("011001*", width=8)
+
+
+class TestTextIO:
+    def test_roundtrip(self, tmp_path):
+        table = RoutingTable.from_strings(
+            [("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("0.0.0.0/0", 0)]
+        )
+        path = tmp_path / "routes.txt"
+        textio.save(table, path)
+        loaded = textio.load(path)
+        assert len(loaded) == 3
+        assert loaded.lookup(0x0A010101) == 2
+
+    def test_comments_and_blanks(self):
+        table = textio.loads("# comment\n\n10.0.0.0/8 1  # trailing\n")
+        assert len(table) == 1
+
+    def test_bad_line(self):
+        with pytest.raises(TableError):
+            textio.loads("10.0.0.0/8\n")
+        with pytest.raises(TableError):
+            textio.loads("10.0.0.0/8 xyz\n")

@@ -1,0 +1,188 @@
+"""Tests for the traffic substrate: packets, streams, profiles, locality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.routing import random_small_table
+from repro.traffic import (
+    PAPER_TRACES,
+    FlowPopulation,
+    LinkSpec,
+    TraceSpec,
+    all_trace_specs,
+    arrival_times,
+    generate_router_streams,
+    generate_stream,
+    locality,
+    packet_sizes,
+    trace_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return random_small_table(200, seed=50)
+
+
+class TestPackets:
+    def test_windows_match_paper(self):
+        assert LinkSpec(40).window == (2, 18)
+        assert LinkSpec(10).window == (6, 74)
+
+    def test_offered_load(self):
+        # 40 Gbps / 256B mean packets ~ 19.5 Mpps; window mean 10 cycles
+        # (50 ns) -> 20 Mpps.
+        assert LinkSpec(40).offered_mpps == pytest.approx(20.0)
+        assert LinkSpec(10).offered_mpps == pytest.approx(5.0)
+
+    def test_unsupported_speed(self):
+        with pytest.raises(SimulationError):
+            LinkSpec(100).window
+
+    def test_arrival_times_monotone_and_windowed(self):
+        times = arrival_times(1000, speed_gbps=40, seed=1)
+        gaps = np.diff(times)
+        assert gaps.min() >= 2 and gaps.max() <= 18
+        assert (gaps > 0).all()
+
+    def test_arrival_times_deterministic(self):
+        assert (arrival_times(100, seed=3) == arrival_times(100, seed=3)).all()
+
+    def test_negative_count_raises(self):
+        with pytest.raises(SimulationError):
+            arrival_times(-1)
+
+    def test_packet_sizes_bounds_and_mean(self):
+        sizes = packet_sizes(20000, seed=2)
+        assert sizes.min() >= 40
+        assert sizes.max() <= 1500
+        assert 200 < sizes.mean() < 300
+
+
+class TestFlowPopulation:
+    def test_unique_addresses(self, table):
+        spec = TraceSpec("t", n_flows=500, seed=1)
+        pop = FlowPopulation(spec, table)
+        assert len(set(int(a) for a in pop.addresses)) == 500
+
+    def test_addresses_covered_by_table(self, table):
+        spec = TraceSpec("t", n_flows=200, seed=2)
+        pop = FlowPopulation(spec, table)
+        for a in pop.addresses[:50]:
+            assert table.lookup_prefix(int(a)) is not None
+
+    def test_heavy_tail(self, table):
+        spec = TraceSpec("t", n_flows=5000, zipf_alpha=1.25, seed=3)
+        pop = FlowPopulation(spec, table)
+        # A small share of flows carries most probability mass.
+        assert pop.share_of_top_flows(0.09) > 0.6
+
+    def test_scaled_spec(self):
+        spec = TraceSpec("t", n_flows=96_000)
+        # 1/10 of the paper's 4.8M packets -> 1/10 of the flows.
+        small = spec.scaled(480_000)
+        assert small.n_flows == 9600
+        assert small.name == spec.name
+        # A tiny run hits the floor; a paper-size run is a no-op.
+        assert spec.scaled(1000).n_flows == 256
+        assert spec.scaled(10_000_000) is spec
+
+
+class TestStreams:
+    def test_length_and_determinism(self, table):
+        spec = TraceSpec("t", n_flows=300, seed=4)
+        pop = FlowPopulation(spec, table)
+        a = generate_stream(pop, 1000, lc_index=0)
+        b = generate_stream(pop, 1000, lc_index=0)
+        assert (a == b).all()
+        assert len(a) == 1000
+
+    def test_lcs_differ_but_share_flows(self, table):
+        spec = TraceSpec("t", n_flows=300, seed=5)
+        pop = FlowPopulation(spec, table)
+        s0 = generate_stream(pop, 2000, lc_index=0)
+        s1 = generate_stream(pop, 2000, lc_index=1)
+        assert not (s0 == s1).all()
+        # Popular destinations appear at both LCs (the sharing SPAL exploits).
+        shared = set(int(a) for a in s0) & set(int(a) for a in s1)
+        assert len(shared) > 50
+
+    def test_recency_increases_short_range_reuse(self, table):
+        base = TraceSpec("t", n_flows=5000, zipf_alpha=1.0, recency=0.0, seed=6)
+        boosted = TraceSpec("t", n_flows=5000, zipf_alpha=1.0, recency=0.4, seed=6)
+        pop_a = FlowPopulation(base, table)
+        pop_b = FlowPopulation(boosted, table)
+        sa = generate_stream(pop_a, 5000)
+        sb = generate_stream(pop_b, 5000)
+        ha = locality.reuse_distance_histogram(sa, [64])["<=64"]
+        hb = locality.reuse_distance_histogram(sb, [64])["<=64"]
+        assert hb > ha
+
+    def test_zero_packets(self, table):
+        spec = TraceSpec("t", n_flows=100, seed=7)
+        pop = FlowPopulation(spec, table)
+        assert len(generate_stream(pop, 0)) == 0
+
+    def test_router_streams(self, table):
+        spec = TraceSpec("t", n_flows=100, seed=8)
+        pop = FlowPopulation(spec, table)
+        streams = generate_router_streams(pop, 4, 100)
+        assert len(streams) == 4
+        assert all(len(s) == 100 for s in streams)
+
+
+class TestProfiles:
+    def test_all_five_paper_traces(self):
+        assert PAPER_TRACES == ["D_75", "D_81", "L_92-0", "L_92-1", "B_L"]
+        for name in PAPER_TRACES:
+            assert trace_spec(name).name == name
+
+    def test_unknown_trace(self):
+        with pytest.raises(KeyError):
+            trace_spec("nope")
+
+    def test_worldcup_more_local_than_abilene(self, table):
+        """The profile ordering that separates the figures' series."""
+        n = 6000
+        rates = {}
+        for name in ("D_75", "L_92-1"):
+            spec = trace_spec(name).scaled(n)
+            pop = FlowPopulation(spec, table)
+            stream = generate_stream(pop, n)
+            rates[name] = locality.lru_hit_rate(stream, 512)
+        assert rates["D_75"] > rates["L_92-1"]
+
+    def test_hit_rates_support_paper_operating_point(self, table):
+        """At 4K blocks the paper cites hit rates above ~0.9; check the
+        ideal-LRU upper bound clears that for every profile at scale."""
+        n = 20000
+        for name, spec in all_trace_specs().items():
+            pop = FlowPopulation(spec.scaled(n), table)
+            stream = generate_stream(pop, n)
+            assert locality.lru_hit_rate(stream, 4096) > 0.85, name
+
+
+class TestLocalityMetrics:
+    def test_unique_fraction(self):
+        assert locality.unique_fraction([1, 1, 2, 2]) == 0.5
+        assert locality.unique_fraction([]) == 0.0
+
+    def test_working_set(self):
+        stream = [1, 2, 1, 2, 3, 3, 3, 3]
+        assert locality.working_set_size(stream, 4) == pytest.approx(1.5)
+
+    def test_lru_hit_rate_simple(self):
+        # Capacity 1: hits only on immediate repeats.
+        assert locality.lru_hit_rate([1, 1, 2, 2, 1], 1) == pytest.approx(0.4)
+        # Large capacity: everything after first occurrence hits.
+        assert locality.lru_hit_rate([1, 1, 2, 2, 1], 10) == pytest.approx(0.6)
+
+    def test_top_flow_share(self):
+        stream = [1] * 90 + list(range(2, 12))
+        assert locality.top_flow_share(stream, 0.1) == pytest.approx(0.9)
+
+    def test_reuse_histogram_sums_to_one(self):
+        stream = [1, 2, 1, 3, 1, 2]
+        hist = locality.reuse_distance_histogram(stream, [1, 4])
+        assert sum(hist.values()) == pytest.approx(1.0)

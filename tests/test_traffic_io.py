@@ -1,0 +1,63 @@
+"""Tests for trace persistence (traffic.io) and the LC-fill experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.traffic import load_streams, save_streams
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        streams = [
+            np.array([1, 2, 3], dtype=np.uint64),
+            np.array([9, 8], dtype=np.uint64),
+        ]
+        manifest = {"trace": "D_75", "n": 3}
+        path = tmp_path / "trace.npz"
+        save_streams(path, streams, manifest)
+        loaded = load_streams(path, expected_manifest=manifest)
+        assert len(loaded) == 2
+        assert (loaded[0] == streams[0]).all()
+        assert (loaded[1] == streams[1]).all()
+
+    def test_manifest_mismatch(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_streams(path, [np.array([1], dtype=np.uint64)], {"seed": 1})
+        with pytest.raises(SimulationError):
+            load_streams(path, expected_manifest={"seed": 2})
+
+    def test_load_without_verification(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_streams(path, [np.array([5], dtype=np.uint64)], {"x": 1})
+        loaded = load_streams(path)
+        assert loaded[0][0] == 5
+
+    def test_lc_ordering_stable_past_ten(self, tmp_path):
+        streams = [np.array([i], dtype=np.uint64) for i in range(12)]
+        path = tmp_path / "many.npz"
+        save_streams(path, streams, {})
+        loaded = load_streams(path)
+        assert [int(s[0]) for s in loaded] == list(range(12))
+
+
+class TestLCFillExperiment:
+    def test_tradeoff_direction(self):
+        from repro.experiments import run_lc_fill_sweep
+
+        result = run_lc_fill_sweep(n_addresses=600)
+        by_fill = {
+            r["fill_factor"]: r
+            for r in result.rows
+            if isinstance(r["fill_factor"], float)
+        }
+        # Lower fill factor: more nodes, fewer (or equal) accesses.
+        assert by_fill[0.125]["nodes"] >= by_fill[1.0]["nodes"]
+        assert by_fill[0.125]["mean_accesses"] <= by_fill[1.0]["mean_accesses"]
+
+    def test_root_branch_rows_present(self):
+        from repro.experiments import run_lc_fill_sweep
+
+        result = run_lc_fill_sweep(n_addresses=300)
+        labels = [str(r["fill_factor"]) for r in result.rows]
+        assert any("root=16" in l for l in labels)

@@ -1,0 +1,84 @@
+"""Coverage for the small public utilities on the trie interface."""
+
+import pytest
+
+from repro.routing import Prefix, RoutingTable, random_small_table
+from repro.tries import BinaryTrie, check_matcher, matching_cycles, matching_time_ns
+from repro.tries.base import sorted_routes
+
+
+class TestCheckMatcher:
+    def test_passes_on_correct_matcher(self):
+        table = random_small_table(40, seed=71)
+        check_matcher(BinaryTrie(table), table, range(0, 1 << 32, 1 << 27))
+
+    def test_fails_on_wrong_matcher(self):
+        table = RoutingTable.from_strings([("10.0.0.0/8", 1)])
+
+        class Wrong(BinaryTrie):
+            def lookup(self, address):
+                return 99
+
+        with pytest.raises(AssertionError):
+            check_matcher(Wrong(table), table, [0x0A000001])
+
+
+class TestSortedRoutes:
+    def test_canonical_order(self):
+        table = RoutingTable.from_strings(
+            [("11.0.0.0/8", 3), ("10.0.0.0/8", 1), ("10.0.0.0/9", 2)]
+        )
+        routes = sorted_routes(table)
+        assert [str(p) for p, _ in routes] == [
+            "10.0.0.0/8",
+            "10.0.0.0/9",
+            "11.0.0.0/8",
+        ]
+
+
+class TestTimingModel:
+    def test_paper_constants(self):
+        # 6.6 accesses x 12ns + 120ns = 199.2ns -> 40 cycles of 5ns.
+        assert matching_time_ns(6.6) == pytest.approx(199.2)
+        assert matching_cycles(6.6) == 40
+        # 16 accesses -> 312ns -> 63 cycles (paper rounds to "62 or so").
+        assert matching_cycles(16) == 63
+
+    def test_zero_accesses_floor(self):
+        # Even with no memory reads the 120ns code execution remains.
+        assert matching_cycles(0) == 24
+
+
+class TestMatcherConveniences:
+    def test_storage_kbytes(self):
+        table = random_small_table(40, seed=72)
+        trie = BinaryTrie(table)
+        assert trie.storage_kbytes() == pytest.approx(trie.storage_bytes() / 1024)
+
+    def test_lookup_with_length(self):
+        table = RoutingTable.from_strings(
+            [("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]
+        )
+        trie = BinaryTrie(table)
+        assert trie.lookup_with_length(0x0A010101) == (2, 16)
+        assert trie.lookup_with_length(0x0A020101) == (1, 8)
+        assert trie.lookup_with_length(0x0B000000) == (-1, -1)
+
+    def test_route_chain(self):
+        table = RoutingTable.from_strings(
+            [("0.0.0.0/0", 0), ("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]
+        )
+        trie = BinaryTrie(table)
+        chain = trie.route_chain(0x0A010101, max_length=32)
+        assert chain == [(0, 0), (8, 1), (16, 2)]
+        # Bounded by max_length.
+        assert trie.route_chain(0x0A010101, max_length=8) == [(0, 0), (8, 1)]
+
+    def test_counter_reset_and_mean(self):
+        table = random_small_table(30, seed=73)
+        trie = BinaryTrie(table)
+        trie.measure([1, 2, 3])
+        assert trie.counter.lookups == 3
+        trie.counter.reset()
+        assert trie.counter.lookups == 0
+        assert trie.counter.mean_accesses == 0.0

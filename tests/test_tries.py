@@ -1,0 +1,331 @@
+"""Correctness tests for every LPM structure against the table oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrieError
+from repro.routing import (
+    Prefix,
+    RoutingTable,
+    addresses_matching,
+    random_small_table,
+)
+from repro.tries import (
+    BinaryTrie,
+    Dir24_8,
+    DPTrie,
+    HashReferenceMatcher,
+    LCTrie,
+    LuleaTrie,
+    MultibitTrie,
+)
+
+ALL_MATCHERS = [
+    ("binary", BinaryTrie),
+    ("dp", DPTrie),
+    ("lulea", LuleaTrie),
+    ("lc", LCTrie),
+    ("multibit", MultibitTrie),
+    ("dir24", lambda t: Dir24_8(t, first_stride=16)),
+    ("ref", HashReferenceMatcher),
+]
+
+
+def probe_addresses(table, n=400, seed=0):
+    """Mix of covered addresses and uniform random ones."""
+    covered = addresses_matching(table, n // 2, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    uniform = rng.integers(0, 1 << 32, size=n // 2, dtype=np.uint64)
+    return np.concatenate([covered, uniform])
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return random_small_table(120, seed=5)
+
+
+@pytest.fixture(scope="module")
+def no_default_table():
+    return random_small_table(80, seed=6, include_default=False)
+
+
+@pytest.fixture(scope="module")
+def clustered_table():
+    from repro.routing import make_rt1
+
+    return make_rt1(size=2500)
+
+
+@pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+class TestAgainstOracle:
+    def test_small_table(self, name, factory, small_table):
+        matcher = factory(small_table)
+        for a in probe_addresses(small_table, 400, seed=10):
+            assert matcher.lookup(int(a)) == small_table.lookup(int(a)), name
+
+    def test_no_default_route(self, name, factory, no_default_table):
+        matcher = factory(no_default_table)
+        for a in probe_addresses(no_default_table, 400, seed=11):
+            assert matcher.lookup(int(a)) == no_default_table.lookup(int(a)), name
+
+    def test_clustered_table(self, name, factory, clustered_table):
+        matcher = factory(clustered_table)
+        for a in probe_addresses(clustered_table, 300, seed=12):
+            assert matcher.lookup(int(a)) == clustered_table.lookup(int(a)), name
+
+    def test_storage_positive(self, name, factory, small_table):
+        matcher = factory(small_table)
+        assert matcher.storage_bytes() > 0
+
+    def test_access_counting(self, name, factory, small_table):
+        matcher = factory(small_table)
+        mean, worst = matcher.measure(
+            [int(a) for a in probe_addresses(small_table, 100, seed=13)]
+        )
+        assert mean >= 1.0
+        assert worst >= mean
+        assert matcher.counter.lookups == 100
+
+
+class TestEdgeTables:
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_single_default_route(self, name, factory):
+        table = RoutingTable.from_strings([("0.0.0.0/0", 7)])
+        matcher = factory(table)
+        assert matcher.lookup(0) == 7
+        assert matcher.lookup(0xFFFFFFFF) == 7
+
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_single_host_route(self, name, factory):
+        table = RoutingTable.from_strings([("1.2.3.4/32", 9)])
+        matcher = factory(table)
+        assert matcher.lookup(0x01020304) == 9
+        assert matcher.lookup(0x01020305) == -1
+
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_nested_chain(self, name, factory):
+        table = RoutingTable.from_strings(
+            [
+                ("0.0.0.0/0", 0),
+                ("128.0.0.0/1", 1),
+                ("192.0.0.0/2", 2),
+                ("192.0.0.0/8", 3),
+                ("192.168.0.0/16", 4),
+                ("192.168.5.0/24", 5),
+                ("192.168.5.17/32", 6),
+            ]
+        )
+        matcher = factory(table)
+        assert matcher.lookup(0x40000000) == 0
+        assert matcher.lookup(0x80000000) == 1
+        assert matcher.lookup(0xC1000000) == 2
+        assert matcher.lookup(0xC0000001) == 3
+        assert matcher.lookup(0xC0A80000) == 4
+        assert matcher.lookup(0xC0A80501) == 5
+        assert matcher.lookup(0xC0A80511) == 6
+
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_adjacent_siblings(self, name, factory):
+        table = RoutingTable.from_strings(
+            [("10.0.0.0/9", 1), ("10.128.0.0/9", 2), ("11.0.0.0/8", 3)]
+        )
+        matcher = factory(table)
+        assert matcher.lookup(0x0A000001) == 1
+        assert matcher.lookup(0x0A800001) == 2
+        assert matcher.lookup(0x0B000001) == 3
+        assert matcher.lookup(0x0C000001) == -1
+
+
+class TestBinaryTrieIncremental:
+    def test_insert_delete_roundtrip(self):
+        table = random_small_table(60, seed=9)
+        trie = BinaryTrie(table)
+        victim = table.prefixes()[10]
+        hop = table.get(victim)
+        assert trie.delete(victim) == hop
+        table2 = table.copy()
+        table2.remove(victim)
+        for a in probe_addresses(table, 200, seed=14):
+            assert trie.lookup(int(a)) == table2.lookup(int(a))
+        trie.insert(victim, hop)
+        for a in probe_addresses(table, 200, seed=15):
+            assert trie.lookup(int(a)) == table.lookup(int(a))
+
+    def test_delete_missing_raises(self):
+        trie = BinaryTrie(RoutingTable.from_strings([("10.0.0.0/8", 1)]))
+        with pytest.raises(TrieError):
+            trie.delete(Prefix.from_string("11.0.0.0/8"))
+
+    def test_node_pruning(self):
+        trie = BinaryTrie(width=32)
+        p = Prefix.from_string("10.0.0.0/8")
+        trie.insert(p, 1)
+        n = trie.node_count
+        trie.delete(p)
+        assert trie.node_count == 1  # only the root remains
+        assert n == 9
+
+    def test_walk_returns_routes(self):
+        table = random_small_table(40, seed=11)
+        trie = BinaryTrie(table)
+        assert sorted(trie.walk()) == sorted(table.routes())
+
+    def test_len(self):
+        table = random_small_table(40, seed=11)
+        assert len(BinaryTrie(table)) == len(table)
+
+
+class TestLulea:
+    def test_storage_smaller_than_multibit(self):
+        table = random_small_table(500, seed=20)
+        lulea = LuleaTrie(table)
+        mb = MultibitTrie(table)
+        assert lulea.storage_bytes() < mb.storage_bytes()
+
+    def test_rejects_unaligned_width(self):
+        # Widths must be 16 + 8k (IPv4 32 and IPv6 128 both qualify).
+        with pytest.raises(TrieError):
+            LuleaTrie(RoutingTable(width=20))
+        with pytest.raises(TrieError):
+            LuleaTrie(RoutingTable(width=8))
+
+    def test_ipv6_width_supported(self):
+        from repro.routing import ipv6_addresses_matching, make_ipv6_table
+
+        table = make_ipv6_table(400, seed=5)
+        trie = LuleaTrie(table)
+        for addr in ipv6_addresses_matching(table, 200, seed=6):
+            assert trie.lookup(addr) == table.lookup(addr)
+        # Deepest tier is /64: level 1 + 6 chunk levels at most.
+        trie.measure(ipv6_addresses_matching(table, 100, seed=7))
+        assert trie.counter.max_accesses <= 4 * 7
+
+    def test_chunk_kinds(self):
+        from repro.routing import make_rt1
+
+        table = make_rt1(size=3000)
+        lulea = LuleaTrie(table)
+        hist = lulea.chunk_kind_histogram()
+        assert sum(hist.values()) == lulea.chunk_count
+        assert lulea.chunk_count > 0
+
+    def test_access_counts_bounded(self):
+        table = random_small_table(400, seed=21)
+        lulea = LuleaTrie(table)
+        mean, worst = lulea.measure(
+            [int(a) for a in probe_addresses(table, 300, seed=22)]
+        )
+        assert 4 <= mean <= 12
+        assert worst <= 12
+
+
+class TestLCTrie:
+    def test_fill_factor_validation(self):
+        table = random_small_table(10, seed=1)
+        with pytest.raises(TrieError):
+            LCTrie(table, fill_factor=0.0)
+        with pytest.raises(TrieError):
+            LCTrie(table, fill_factor=1.5)
+
+    def test_higher_fill_factor_fewer_nodes(self):
+        table = random_small_table(800, seed=23)
+        loose = LCTrie(table, fill_factor=0.25)
+        tight = LCTrie(table, fill_factor=1.0)
+        assert tight.node_count <= loose.node_count
+
+    def test_root_branch_override(self):
+        table = random_small_table(200, seed=24)
+        trie = LCTrie(table, root_branch=8)
+        for a in probe_addresses(table, 200, seed=25):
+            assert trie.lookup(int(a)) == table.lookup(int(a))
+
+    def test_empty_table(self):
+        trie = LCTrie(RoutingTable())
+        assert trie.lookup(0x01020304) == -1
+
+    def test_default_only(self):
+        trie = LCTrie(RoutingTable.from_strings([("0.0.0.0/0", 3)]))
+        assert trie.lookup(0xDEADBEEF) == 3
+
+
+class TestDir24_8:
+    def test_two_access_worst_case(self):
+        table = random_small_table(200, seed=26)
+        d = Dir24_8(table, first_stride=16)
+        d.measure([int(a) for a in probe_addresses(table, 200, seed=27)])
+        assert d.counter.max_accesses <= 2
+
+    def test_full_size_storage_exceeds_32mb(self):
+        # The paper: "The memory requirement of this hardware design is huge
+        # (> 32 Mbytes)" — structural property of the 2^24 first level.
+        table = RoutingTable.from_strings([("10.0.0.0/8", 1), ("10.0.0.1/32", 2)])
+        d = Dir24_8(table)  # default first_stride=24
+        assert d.storage_bytes() > 32 * 1024 * 1024
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(TrieError):
+            Dir24_8(RoutingTable(), first_stride=0)
+
+
+class TestMultibit:
+    def test_stride_validation(self):
+        table = RoutingTable()
+        with pytest.raises(TrieError):
+            MultibitTrie(table, strides=(16, 8))
+        with pytest.raises(TrieError):
+            MultibitTrie(table, strides=(16, 8, 8, 0))
+
+    def test_custom_strides(self):
+        table = random_small_table(150, seed=28)
+        trie = MultibitTrie(table, strides=(8, 8, 8, 8))
+        for a in probe_addresses(table, 200, seed=29):
+            assert trie.lookup(int(a)) == table.lookup(int(a))
+
+    def test_accesses_at_most_levels(self):
+        table = random_small_table(150, seed=28)
+        trie = MultibitTrie(table, strides=(16, 8, 8))
+        trie.measure([int(a) for a in probe_addresses(table, 100, seed=30)])
+        assert trie.counter.max_accesses <= 3
+
+    def test_shorter_after_longer_insert(self):
+        # Regression: inserting a covering route after a nested one must
+        # repaint inherited slots in existing children.
+        table = RoutingTable()
+        trie = MultibitTrie(table)
+        trie.insert(Prefix.from_string("10.0.0.0/8"), 1)
+        trie.insert(Prefix.from_string("10.1.1.0/24"), 2)
+        trie.insert(Prefix.from_string("10.0.0.0/12"), 3)
+        assert trie.lookup(0x0A080101) == 3  # under /12, repainted child
+        assert trie.lookup(0x0A010101) == 2  # /24 still wins
+        assert trie.lookup(0x0A800001) == 1  # outside /12, /8 applies
+
+
+class TestDPTrie:
+    def test_incremental_matches_bulk(self):
+        table = random_small_table(100, seed=31)
+        bulk = DPTrie(table)
+        inc = DPTrie(width=32)
+        for prefix, hop in table.routes():
+            inc.insert(prefix, hop)
+        for a in probe_addresses(table, 300, seed=32):
+            assert bulk.lookup(int(a)) == inc.lookup(int(a)) == table.lookup(int(a))
+
+    def test_delete(self):
+        table = random_small_table(50, seed=33)
+        trie = DPTrie(table)
+        victim = table.prefixes()[5]
+        trie.delete(victim)
+        reduced = table.copy()
+        reduced.remove(victim)
+        for a in probe_addresses(table, 200, seed=34):
+            assert trie.lookup(int(a)) == reduced.lookup(int(a))
+
+    def test_delete_missing_raises(self):
+        trie = DPTrie(RoutingTable.from_strings([("10.0.0.0/8", 1)]))
+        with pytest.raises(TrieError):
+            trie.delete(Prefix.from_string("11.0.0.0/8"))
+
+    def test_storage_model_21_bytes_per_node(self):
+        table = random_small_table(60, seed=35)
+        trie = DPTrie(table)
+        assert trie.storage_bytes() >= trie.node_count * 21
