@@ -1,13 +1,23 @@
 """Micro-benchmarks for the hot components: trie builds/lookups, the
 LR-cache pipeline, the event engine and the partitioner helpers."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.core import LOC, REM, LRCache, pattern_of
 from repro.routing import addresses_matching
 from repro.sim import EventQueue
-from repro.tries import BinaryTrie, Dir24_8, DPTrie, LCTrie, LuleaTrie, MultibitTrie
+from repro.tries import (
+    BinaryTrie,
+    Dir24_8,
+    DPTrie,
+    HashReferenceMatcher,
+    LCTrie,
+    LuleaTrie,
+    MultibitTrie,
+)
 
 FACTORIES = {
     "binary": BinaryTrie,
@@ -37,6 +47,54 @@ def test_bench_trie_lookup(benchmark, rt1, name):
         return total
 
     benchmark(sweep)
+
+
+#: Structures with a vectorized batch kernel (the rest fall back to the
+#: scalar loop inside lookup_batch).
+BATCH_FACTORIES = {
+    "binary": BinaryTrie,
+    "lulea": LuleaTrie,
+    "lc": lambda t: LCTrie(t, fill_factor=0.25),
+    "multibit": MultibitTrie,
+    "ref": HashReferenceMatcher,
+}
+
+
+@pytest.mark.parametrize("name", list(BATCH_FACTORIES))
+def test_bench_trie_lookup_batch(benchmark, rt1, name):
+    """Batched lookups over the same stream as the scalar bench."""
+    matcher = BATCH_FACTORIES[name](rt1)
+    addrs = np.asarray(addresses_matching(rt1, 2000, seed=1), dtype=np.uint64)
+    matcher.lookup_batch(addrs[:1])  # compile outside the timed region
+
+    hops = benchmark(matcher.lookup_batch, addrs)
+    assert hops.shape == addrs.shape
+
+
+@pytest.mark.parametrize("name", list(BATCH_FACTORIES))
+def test_batch_speedup_over_scalar(name, rt1):
+    """Acceptance floor: every batch kernel is >= 5x the scalar loop at
+    default scale (measured in addresses/s over a large batch)."""
+    matcher = BATCH_FACTORIES[name](rt1)
+    rng = np.random.default_rng(9)
+    addrs = rng.integers(0, 1 << 32, size=200_000, dtype=np.uint64)
+    matcher.lookup_batch(addrs[:1])  # compile before timing
+
+    start = time.perf_counter()
+    hops = matcher.lookup_batch(addrs)
+    batch_s = time.perf_counter() - start
+
+    scalar_addrs = addrs[:20_000]
+    lookup = matcher.lookup
+    start = time.perf_counter()
+    want = [lookup(int(a)) for a in scalar_addrs]
+    scalar_s = (time.perf_counter() - start) * (len(addrs) / len(scalar_addrs))
+
+    np.testing.assert_array_equal(hops[: len(scalar_addrs)], want)
+    speedup = scalar_s / batch_s
+    rate = len(addrs) / batch_s / 1e6
+    print(f"{name}: {rate:.1f} Maddrs/s, {speedup:.1f}x over scalar")
+    assert speedup >= 5.0, f"{name} batch kernel only {speedup:.1f}x"
 
 
 def test_bench_lr_cache_pipeline(benchmark):

@@ -3,7 +3,9 @@
 optimizing).
 
 Runs a standard ψ=8 configuration under cProfile and prints the top
-functions by cumulative time, plus the simulated-packet rate.
+functions by cumulative time, the simulated-packet (event) rate, and a
+batch-vs-scalar lookup throughput comparison for every vectorized kernel
+(REPRO_BATCH=0 disables the batch paths; see docs/TUTORIAL.md).
 
     python scripts/profile_sim.py [packets_per_lc]
 """
@@ -15,16 +17,59 @@ import pstats
 import sys
 import time
 
+import numpy as np
+
+from repro.batching import batch_enabled
 from repro.core import CacheConfig, SpalConfig
 from repro.routing import make_rt2
 from repro.sim import SpalSimulator
 from repro.traffic import FlowPopulation, generate_router_streams, trace_spec
+from repro.tries import (
+    BinaryTrie,
+    HashReferenceMatcher,
+    LCTrie,
+    LuleaTrie,
+    MultibitTrie,
+)
+
+KERNELS = {
+    "binary": BinaryTrie,
+    "lc": LCTrie,
+    "lulea": LuleaTrie,
+    "multibit": MultibitTrie,
+    "ref": HashReferenceMatcher,
+}
+
+
+def lookup_throughput(table, n_addrs: int = 200_000) -> None:
+    """Batch vs scalar lookup throughput (Maddrs/s) for each kernel."""
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 32, size=n_addrs, dtype=np.uint64)
+    scalar_sample = addrs[: max(1, n_addrs // 10)]
+    print(f"lookup throughput over {n_addrs} random addresses "
+          f"(batch {'enabled' if batch_enabled() else 'DISABLED'}):")
+    for name, factory in KERNELS.items():
+        matcher = factory(table)
+        matcher.lookup_batch(addrs[:1])  # compile outside the timed region
+        start = time.perf_counter()
+        matcher.lookup_batch(addrs)
+        batch_s = time.perf_counter() - start
+        lookup = matcher.lookup
+        start = time.perf_counter()
+        for a in scalar_sample:
+            lookup(int(a))
+        scalar_s = (time.perf_counter() - start) * (n_addrs / len(scalar_sample))
+        print(f"  {name:9s} batch {n_addrs / batch_s / 1e6:7.1f} Maddrs/s   "
+              f"scalar {n_addrs / scalar_s / 1e6:7.2f} Maddrs/s   "
+              f"({scalar_s / batch_s:5.1f}x)")
+    print()
 
 
 def main() -> None:
     packets = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
     n_lcs = 8
     table = make_rt2(size=20_000)
+    lookup_throughput(table)
     spec = trace_spec("L_92-0").scaled(16 * packets)
     population = FlowPopulation(spec, table)
     streams = generate_router_streams(population, n_lcs, packets)
@@ -39,8 +84,10 @@ def main() -> None:
     profiler.disable()
     elapsed = time.perf_counter() - start
 
+    events = sim.queue.processed
     print(f"{result.packets} packets in {elapsed:.2f}s "
-          f"({result.packets / elapsed / 1000:.0f}k simulated packets/s)\n")
+          f"({result.packets / elapsed / 1000:.0f}k simulated packets/s, "
+          f"{events / elapsed / 1000:.0f}k events/s)\n")
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(18)
 

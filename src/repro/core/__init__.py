@@ -18,6 +18,7 @@ from .partition import (
     assign_patterns_to_lcs,
     partition_table,
     pattern_of,
+    pattern_of_batch,
     patterns_of_prefix,
     score_bit,
     select_partition_bits,
@@ -56,6 +57,7 @@ __all__ = [
     "score_bit",
     "select_partition_bits",
     "pattern_of",
+    "pattern_of_batch",
     "patterns_of_prefix",
     "assign_patterns_to_lcs",
     "partition_table",

@@ -31,6 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..batching import MAX_KERNEL_WIDTH, batch_enabled
 from ..errors import PartitionError
 from ..routing.prefix import Prefix
 from ..routing.table import NextHop, RoutingTable
@@ -95,6 +98,8 @@ def select_partition_bits(
             f"cannot choose {n_bits} bits from {len(candidates)} candidates"
         )
     prefixes = [p for p in table.prefixes()]
+    if batch_enabled() and width <= MAX_KERNEL_WIDTH and prefixes:
+        return _select_partition_bits_vec(prefixes, n_bits, candidates, width)
     chosen: List[int] = []
     # Current fragmentation: start with the whole set, split as bits are
     # chosen.  Each subset is the multiset of prefixes compatible with one
@@ -141,12 +146,87 @@ def select_partition_bits(
     return chosen
 
 
+def _select_partition_bits_vec(
+    prefixes: Sequence[Prefix],
+    n_bits: int,
+    candidates: Sequence[int],
+    width: int,
+) -> List[int]:
+    """Vectorized twin of the scalar selection loop below.
+
+    Subsets are carried as a label array over (replicated) prefix rows
+    instead of lists-of-lists; per-candidate Φ counts come from masked
+    ``bincount`` calls.  Candidate order and the (max, total, spread) key
+    are identical to the scalar path, so the chosen bits are bit-for-bit
+    the same.
+    """
+    values = np.fromiter(
+        (p.value for p in prefixes), dtype=np.uint64, count=len(prefixes)
+    )
+    lengths = np.fromiter(
+        (p.length for p in prefixes), dtype=np.int64, count=len(prefixes)
+    )
+    subset_id = np.zeros(len(prefixes), dtype=np.int64)
+    n_subsets = 1
+    chosen: List[int] = []
+    for _ in range(n_bits):
+        best_position = -1
+        best_key: Optional[Tuple[int, int, int]] = None
+        for position in candidates:
+            if position in chosen:
+                continue
+            wild = lengths <= position
+            bitv = (
+                (values >> np.uint64(width - 1 - position)) & np.uint64(1)
+            ).astype(bool)
+            w = np.bincount(subset_id[wild], minlength=n_subsets)
+            z = np.bincount(subset_id[~wild & ~bitv], minlength=n_subsets)
+            o = np.bincount(subset_id[~wild & bitv], minlength=n_subsets)
+            sizes = np.concatenate((z + w, o + w))
+            key = (
+                int(sizes.max()),
+                int(sizes.sum()),
+                int(sizes.max() - sizes.min()),
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_position = position
+        chosen.append(best_position)
+        # Split on the chosen bit: defined bits route to one side,
+        # wildcards are replicated into both.
+        wild = lengths <= best_position
+        bitv = (
+            (values >> np.uint64(width - 1 - best_position)) & np.uint64(1)
+        ).astype(np.int64)
+        subset_id = subset_id * 2 + np.where(wild, 0, bitv)
+        if wild.any():
+            values = np.concatenate((values, values[wild]))
+            lengths = np.concatenate((lengths, lengths[wild]))
+            subset_id = np.concatenate((subset_id, subset_id[wild] + 1))
+        n_subsets *= 2
+    return chosen
+
+
 def pattern_of(address: int, bits: Sequence[int], width: int) -> int:
     """The control-bit pattern of an address: bit ``bits[0]`` is the MSB of
     the pattern (this is the LR1 detector of Fig. 2)."""
     pattern = 0
     for position in bits:
         pattern = (pattern << 1) | ((address >> (width - 1 - position)) & 1)
+    return pattern
+
+
+def pattern_of_batch(
+    addresses: np.ndarray, bits: Sequence[int], width: int
+) -> np.ndarray:
+    """Vectorized :func:`pattern_of`: one int64 pattern per address."""
+    addrs = np.asarray(addresses, dtype=np.uint64)
+    pattern = np.zeros(addrs.shape[0], dtype=np.int64)
+    for position in bits:
+        bit = (
+            (addrs >> np.uint64(width - 1 - position)) & np.uint64(1)
+        ).astype(np.int64)
+        pattern = (pattern << 1) | bit
     return pattern
 
 
@@ -256,6 +336,44 @@ class PartitionPlan:
                 f"all replicas of pattern {pattern:#b} have failed"
             )
         return live[address % len(live)]
+
+    def home_lc_batch(self, addresses: Sequence[int]) -> np.ndarray:
+        """Vectorized :meth:`home_lc` over a whole address stream.
+
+        Falls back to the scalar method per address when batching is
+        disabled or the address width exceeds the uint64 kernels.
+        """
+        n = len(addresses)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        width = self.width
+        if not batch_enabled() or width > MAX_KERNEL_WIDTH:
+            return np.fromiter(
+                (self.home_lc(int(a)) for a in addresses),
+                dtype=np.int64,
+                count=n,
+            )
+        addrs = np.asarray(addresses, dtype=np.uint64)
+        patterns = pattern_of_batch(addrs, self.bits, width)
+        if self.replicas_of_pattern is None:
+            return np.asarray(self.lc_of_pattern, dtype=np.int64)[patterns]
+        # Padded live-replica table: row per pattern, failed LCs dropped.
+        n_patterns = len(self.replicas_of_pattern)
+        max_r = max(len(r) for r in self.replicas_of_pattern)
+        live_tab = np.zeros((n_patterns, max_r), dtype=np.int64)
+        n_live = np.zeros(n_patterns, dtype=np.int64)
+        for p, replicas in enumerate(self.replicas_of_pattern):
+            live = [lc for lc in replicas if lc not in self.failed_lcs]
+            n_live[p] = len(live)
+            live_tab[p, : len(live)] = live
+        counts = n_live[patterns]
+        if not counts.all():
+            dead = int(patterns[counts == 0][0])
+            raise PartitionError(
+                f"all replicas of pattern {dead:#b} have failed"
+            )
+        choice = (addrs % counts.astype(np.uint64)).astype(np.int64)
+        return live_tab[patterns, choice]
 
     def fail_lc(self, lc: int) -> None:
         """Mark an LC failed: its home load shifts to surviving replicas.

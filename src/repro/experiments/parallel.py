@@ -12,6 +12,7 @@ sequential), which the figure runners consult via :func:`run_spal_grid`.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -20,11 +21,20 @@ from .common import run_spal
 
 
 def workers_from_env() -> int:
-    """Configured worker count (1 = sequential)."""
+    """Configured worker count (1 = sequential).
+
+    A malformed ``REPRO_WORKERS`` falls back to sequential, with a warning
+    — a silent fallback looks exactly like a slow run.
+    """
     raw = os.environ.get("REPRO_WORKERS", "1")
     try:
         n = int(raw)
     except ValueError:
+        warnings.warn(
+            f"REPRO_WORKERS={raw!r} is not an integer; running sequentially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
     return max(1, n)
 

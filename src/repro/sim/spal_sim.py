@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..batching import MAX_KERNEL_WIDTH, batch_enabled
 from ..core.config import SpalConfig
 from ..core.lr_cache import LOC, REM, LRCache
 from ..core.partition import PartitionPlan, partition_table
@@ -47,6 +48,8 @@ class _Packet:
         "entry",
         "_home_entry",
         "measured",
+        "home",
+        "hop",
     )
 
     def __init__(self, dest: int, arrival_lc: int, arrival_time: int):
@@ -57,6 +60,8 @@ class _Packet:
         self.entry = None        # reserved LR-cache entry at the arrival LC
         self._home_entry = None  # reserved entry at the home LC (remote flow)
         self.measured = True     # False during the warmup window
+        self.home = -1           # precomputed home LC (-1 = compute on demand)
+        self.hop = None          # precomputed FE result (None = look up at FE)
 
 
 class _RemoteWaiter:
@@ -85,6 +90,12 @@ class SpalSimulator:
         When True, every FE result is checked against a whole-table oracle
         (a dynamic assertion of the partition-preserving-LPM invariant);
         costs one extra hash lookup per FE request.
+    plan, matchers:
+        Pre-built partition plan and per-LC matchers to reuse instead of
+        partitioning ``table`` afresh (the expensive part of construction).
+        Both must have been built from this exact ``table``/``config``;
+        matchers only read their tables during a run, so one (plan,
+        matchers) pair can serve many single-use simulators.
     """
 
     def __init__(
@@ -93,22 +104,48 @@ class SpalSimulator:
         config: Optional[SpalConfig] = None,
         partitioned: bool = True,
         verify: bool = False,
+        plan: Optional[PartitionPlan] = None,
+        matchers: Optional[Sequence[HashReferenceMatcher]] = None,
     ):
         self.config = config or SpalConfig()
         self.config.validate()
         self.table = table
         self.partitioned = partitioned
-        if partitioned:
-            self.plan: Optional[PartitionPlan] = partition_table(
-                table,
-                self.config.n_lcs,
-                bits=self.config.partition_bits,
-                pattern_oversubscription=self.config.pattern_oversubscription,
-                replicas=self.config.replicas,
+        if not partitioned and (plan is not None or matchers is not None):
+            raise SimulationError(
+                "plan/matchers injection requires partitioned=True"
             )
-            self._matchers = [
-                HashReferenceMatcher(t) for t in self.plan.tables
-            ]
+        if partitioned:
+            if plan is not None:
+                if plan.n_lcs != self.config.n_lcs:
+                    raise SimulationError(
+                        f"injected plan has {plan.n_lcs} LCs, "
+                        f"config wants {self.config.n_lcs}"
+                    )
+                if plan.source_version != table.version:
+                    raise SimulationError(
+                        "injected plan was built from a different table "
+                        f"version ({plan.source_version} != {table.version})"
+                    )
+                self.plan: Optional[PartitionPlan] = plan
+            else:
+                self.plan = partition_table(
+                    table,
+                    self.config.n_lcs,
+                    bits=self.config.partition_bits,
+                    pattern_oversubscription=self.config.pattern_oversubscription,
+                    replicas=self.config.replicas,
+                )
+            if matchers is not None:
+                if len(matchers) != self.config.n_lcs:
+                    raise SimulationError(
+                        f"need {self.config.n_lcs} matchers, got {len(matchers)}"
+                    )
+                self._matchers = list(matchers)
+            else:
+                self._matchers = [
+                    HashReferenceMatcher(t) for t in self.plan.tables
+                ]
         else:
             self.plan = None
             shared = HashReferenceMatcher(table)
@@ -157,10 +194,12 @@ class SpalSimulator:
         fil = self.config.fil_overhead_cycles
         return self.fabric.transfer(src, dst, when + fil) + fil
 
-    def _home_of(self, dest: int, arrival_lc: int) -> int:
+    def _home_of(self, pkt: _Packet, arrival_lc: int) -> int:
+        if pkt.home >= 0:
+            return pkt.home
         if self._home is None:
             return arrival_lc
-        return self._home(dest)
+        return self._home(pkt.dest)
 
     def _arrive(self, pkt: _Packet, lc: int) -> None:
         """Packet header reaches the LR-cache stage of LC ``lc``."""
@@ -171,14 +210,21 @@ class SpalSimulator:
             return
         start, _ = self.cache_ports[lc].acquire(now, 1)
         if start > now:
-            self.queue.schedule(start, self._probe, pkt, lc)
-            # acquire() already reserved [start, start+1); undo the double
-            # booking by noting _probe will not re-acquire.
+            # The port slot [start, start+1) is already booked by the
+            # acquire() above; the deferred probe consumes that exact
+            # reservation instead of acquiring a second slot.
+            self.queue.schedule(start, self._probe_reserved, pkt, lc, start)
         else:
             self._probe_at(pkt, lc, now)
 
-    def _probe(self, pkt: _Packet, lc: int) -> None:
-        self._probe_at(pkt, lc, self.queue.now)
+    def _probe_reserved(self, pkt: _Packet, lc: int, start: int) -> None:
+        """Run a cache probe in its pre-reserved port slot ``[start, start+1)``."""
+        if self.queue.now != start:
+            raise SimulationError(
+                f"deferred probe at LC {lc} fired at cycle {self.queue.now}, "
+                f"but its port slot was reserved for cycle {start}"
+            )
+        self._probe_at(pkt, lc, start)
 
     def _probe_at(self, pkt: _Packet, lc: int, now: int) -> None:
         cache = self.caches[lc]
@@ -194,7 +240,7 @@ class SpalSimulator:
 
     def _miss(self, pkt: _Packet, lc: int, now: int) -> None:
         cache = self.caches[lc]
-        home = self._home_of(pkt.dest, lc)
+        home = self._home_of(pkt, lc)
         local = home == lc
         if cache is not None:
             record = local or (
@@ -208,7 +254,7 @@ class SpalSimulator:
         self, pkt: _Packet, lc: int, now: int, home: Optional[int] = None
     ) -> None:
         if home is None:
-            home = self._home_of(pkt.dest, lc)
+            home = self._home_of(pkt, lc)
         if home == lc:
             self._fe_request(pkt, lc, now, origin=None)
         else:
@@ -233,14 +279,17 @@ class SpalSimulator:
 
     def _fe_done(self, pkt: _Packet, lc: int, origin: Optional[int]) -> None:
         now = self.queue.now
-        hop = self._matchers[lc].lookup(pkt.dest)
-        if self._oracle is not None:
-            expected = self._oracle.lookup(pkt.dest)
-            if hop != expected:
-                raise SimulationError(
-                    f"partition invariant violated at LC {lc}: "
-                    f"lookup({pkt.dest:#x}) = {hop}, whole table says {expected}"
-                )
+        hop = pkt.hop
+        if hop is None:
+            hop = self._matchers[lc].lookup(pkt.dest)
+            if self._oracle is not None:
+                expected = self._oracle.lookup(pkt.dest)
+                if hop != expected:
+                    raise SimulationError(
+                        f"partition invariant violated at LC {lc}: "
+                        f"lookup({pkt.dest:#x}) = {hop}, "
+                        f"whole table says {expected}"
+                    )
         entry = pkt.entry if origin is None else None
         # For remote-request flows the home-side entry rides on the packet's
         # home_entry attribute set in _remote_request; see below.
@@ -282,12 +331,21 @@ class SpalSimulator:
             return
         start, _ = self.cache_ports[home].acquire(now, 1)
         if start > now:
-            self.queue.schedule(start, self._remote_request_probe, pkt, home)
+            # Same pre-reserved port slot contract as _arrive/_probe_reserved.
+            self.queue.schedule(
+                start, self._remote_probe_reserved, pkt, home, start
+            )
         else:
             self._remote_probe_at(pkt, home, now)
 
-    def _remote_request_probe(self, pkt: _Packet, home: int) -> None:
-        self._remote_probe_at(pkt, home, self.queue.now)
+    def _remote_probe_reserved(self, pkt: _Packet, home: int, start: int) -> None:
+        if self.queue.now != start:
+            raise SimulationError(
+                f"deferred remote probe at LC {home} fired at cycle "
+                f"{self.queue.now}, but its port slot was reserved for "
+                f"cycle {start}"
+            )
+        self._remote_probe_at(pkt, home, start)
 
     def _remote_probe_at(self, pkt: _Packet, home: int, now: int) -> None:
         cache = self.caches[home]
@@ -344,6 +402,66 @@ class SpalSimulator:
                 cache.invalidate_matching(prefix)
         self.flushes += 1
 
+    def _precompute_streams(
+        self, streams: Sequence[np.ndarray]
+    ) -> Optional[List[tuple]]:
+        """Resolve every packet's home LC and FE result up front.
+
+        Forwarding tables are immutable during :meth:`run` (flushes and
+        selective invalidations only touch caches), so the per-packet
+        ``(home, hop)`` pair is known before the first event fires.  One
+        vectorized :meth:`PartitionPlan.home_lc_batch` plus per-home-LC
+        :meth:`lookup_batch` calls replace millions of scalar lookups in
+        the event handlers; with ``verify=True`` the whole stream is
+        checked against the oracle here in one batched pass.  Matcher
+        access counters are restored afterwards so precomputation stays
+        side-effect free.  Returns None (scalar handlers take over) when
+        batching is disabled or the address width exceeds the kernels.
+        """
+        if not batch_enabled() or self.table.width > MAX_KERNEL_WIDTH:
+            return None
+        snapshots = []
+        for m in {id(m): m for m in [*self._matchers, self._oracle]}.values():
+            c = getattr(m, "counter", None)
+            if c is not None:
+                snapshots.append((c, c.lookups, c.accesses, c.max_accesses))
+        out: List[tuple] = []
+        for lc, stream in enumerate(streams):
+            dests = np.asarray(stream, dtype=np.uint64)
+            if self.plan is not None:
+                homes = self.plan.home_lc_batch(dests)
+            else:
+                homes = np.full(len(dests), lc, dtype=np.int64)
+            hops = np.empty(len(dests), dtype=np.int64)
+            for h in np.unique(homes):
+                mask = homes == h
+                matcher = self._matchers[int(h)]
+                if hasattr(matcher, "lookup_batch"):
+                    hops[mask] = matcher.lookup_batch(dests[mask])
+                else:  # duck-typed test stand-ins expose only lookup()
+                    hops[mask] = [
+                        matcher.lookup(int(a)) for a in dests[mask]
+                    ]
+            if self._oracle is not None:
+                expected = self._oracle.lookup_batch(dests)
+                bad = np.flatnonzero(hops != expected)
+                if bad.size:
+                    i = int(bad[0])
+                    raise SimulationError(
+                        f"partition invariant violated at LC "
+                        f"{int(homes[i])}: lookup({int(dests[i]):#x}) = "
+                        f"{int(hops[i])}, whole table says "
+                        f"{int(expected[i])}"
+                    )
+            # Plain lists: the scheduling loop indexes per packet, and
+            # list[i] yields a Python int with no per-element conversion.
+            out.append((homes.tolist(), hops.tolist()))
+        for c, lookups, accesses, max_accesses in snapshots:
+            c.lookups = lookups
+            c.accesses = accesses
+            c.max_accesses = max_accesses
+        return out
+
     # -- driving ----------------------------------------------------------------
 
     def run(
@@ -389,14 +507,19 @@ class SpalSimulator:
                 raise SimulationError(
                     f"need {self.config.n_lcs} per-LC speeds, got {len(speeds)}"
                 )
+        precomputed = self._precompute_streams(streams)
         total = 0
         for lc, stream in enumerate(streams):
             times = arrival_times(
                 len(stream), speed_gbps=speeds[lc], seed=1000 + lc
             )
+            homes_hops = precomputed[lc] if precomputed is not None else None
             for i, (t, dest) in enumerate(zip(times, stream)):
                 pkt = _Packet(int(dest), lc, int(t))
                 pkt.measured = i >= warmup_packets
+                if homes_hops is not None:
+                    pkt.home = homes_hops[0][i]
+                    pkt.hop = homes_hops[1][i]
                 self.queue.schedule(int(t), self._arrive, pkt, lc)
             total += len(stream)
         if flush_cycles:

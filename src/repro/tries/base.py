@@ -19,10 +19,16 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from ..batching import MAX_KERNEL_WIDTH, batch_enabled
 from ..routing.prefix import Prefix
 from ..routing.table import NextHop, RoutingTable
+
+#: A compiled batch kernel: uint64 addresses -> (int64 hops, int64 accesses).
+BatchKernel = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
 
 #: Timing constants from the paper (Sec. 5.1).
 CYCLE_NS = 5.0
@@ -78,6 +84,8 @@ class LongestPrefixMatcher(ABC):
 
     def __init__(self) -> None:
         self.counter = AccessCounter()
+        self._batch_kernel: Optional[BatchKernel] = None
+        self._batch_compiled = False
 
     @abstractmethod
     def lookup(self, address: int) -> NextHop:
@@ -87,14 +95,69 @@ class LongestPrefixMatcher(ABC):
     def storage_bytes(self) -> int:
         """SRAM footprint under this structure's byte model."""
 
+    # -- batch lookups -----------------------------------------------------
+
+    def _compile_batch_kernel(self) -> Optional[BatchKernel]:
+        """Build this structure's vectorized kernel, or None to always use
+        the scalar fallback.  Called lazily on the first :meth:`lookup_batch`
+        and again after :meth:`_invalidate_batch`."""
+        return None
+
+    def _invalidate_batch(self) -> None:
+        """Drop the compiled kernel (mutating structures call this on every
+        insert/delete; the kernel recompiles on the next batch lookup)."""
+        self._batch_kernel = None
+        self._batch_compiled = False
+
+    def lookup_batch(
+        self, addresses: Union[np.ndarray, Sequence[int]]
+    ) -> np.ndarray:
+        """Vectorized longest-prefix match over many addresses at once.
+
+        Returns an int64 array of next hops, element ``i`` bit-identical to
+        ``lookup(int(addresses[i]))``.  Structures with an array-packed
+        kernel traverse level-synchronously (all in-flight addresses advance
+        one level per vector op); everything else — and every structure when
+        ``REPRO_BATCH=0`` or the width exceeds 64 bits — falls back to a
+        scalar loop.  The access counter advances exactly as the equivalent
+        scalar loop would.
+        """
+        n = len(addresses)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        width = getattr(self, "width", 0)
+        if batch_enabled() and 0 < width <= MAX_KERNEL_WIDTH:
+            if not self._batch_compiled:
+                self._batch_kernel = self._compile_batch_kernel()
+                self._batch_compiled = True
+            kernel = self._batch_kernel
+            if kernel is not None:
+                hops, accesses = kernel(np.asarray(addresses, dtype=np.uint64))
+                counter = self.counter
+                counter.lookups += n
+                counter.accesses += int(accesses.sum())
+                peak = int(accesses.max())
+                if peak > counter.max_accesses:
+                    counter.max_accesses = peak
+                return hops
+        out = np.empty(n, dtype=np.int64)
+        lookup = self.lookup
+        for i, address in enumerate(addresses):
+            out[i] = lookup(int(address))
+        return out
+
     def storage_kbytes(self) -> float:
         return self.storage_bytes() / 1024.0
 
     def measure(self, addresses: Iterable[int]) -> Tuple[float, int]:
         """Run lookups over ``addresses``; return (mean, max) accesses."""
         self.counter.reset()
-        for address in addresses:
-            self.lookup(int(address))
+        addrs = (
+            addresses
+            if isinstance(addresses, (list, np.ndarray))
+            else [int(a) for a in addresses]
+        )
+        self.lookup_batch(addrs)
         return self.counter.mean_accesses, self.counter.max_accesses
 
 

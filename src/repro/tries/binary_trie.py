@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+import numpy as np
+
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher
 
 NODE_BYTES = 12
 
@@ -62,6 +64,7 @@ class BinaryTrie(LongestPrefixMatcher):
             self.route_count += 1
         node.has_route = True
         node.next_hop = next_hop
+        self._invalidate_batch()
 
     def delete(self, prefix: Prefix) -> NextHop:
         """Remove a route; prunes now-empty branches."""
@@ -87,6 +90,7 @@ class BinaryTrie(LongestPrefixMatcher):
             parent.children[bit] = None
             self.node_count -= 1
         self.route_count -= 1
+        self._invalidate_batch()
         return hop
 
     # -- queries -----------------------------------------------------------
@@ -108,6 +112,55 @@ class BinaryTrie(LongestPrefixMatcher):
             shift -= 1
         counter.finish()
         return best
+
+    def _compile_batch_kernel(self) -> BatchKernel:
+        """Pack the node graph into child/hop arrays for level-synchronous
+        traversal: every in-flight address advances one trie level per
+        vector op, and lanes retire as soon as their walk falls off the
+        trie.  Access counts replicate :meth:`lookup` exactly (root read
+        plus one per advanced node)."""
+        n_nodes = self.node_count
+        children = np.full((2, n_nodes), -1, dtype=np.int64)
+        hops = np.full(n_nodes, NO_ROUTE, dtype=np.int64)
+        routed = np.zeros(n_nodes, dtype=bool)
+        stack = [(self.root, 0)]
+        next_id = 1
+        while stack:
+            node, index = stack.pop()
+            if node.has_route:
+                routed[index] = True
+                hops[index] = node.next_hop
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    children[bit, index] = next_id
+                    stack.append((child, next_id))
+                    next_id += 1
+        width = self.width
+        root_hop = hops[0] if routed[0] else NO_ROUTE
+
+        def kernel(addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            n = addrs.shape[0]
+            best = np.full(n, root_hop, dtype=np.int64)
+            accesses = np.ones(n, dtype=np.int64)
+            lanes = np.arange(n)
+            nodes = np.zeros(n, dtype=np.int64)
+            for shift in range(width - 1, -1, -1):
+                bits = ((addrs[lanes] >> np.uint64(shift)) & np.uint64(1)).astype(
+                    np.int64
+                )
+                advanced = children[bits, nodes]
+                alive = advanced >= 0
+                lanes = lanes[alive]
+                if lanes.size == 0:
+                    break
+                nodes = advanced[alive]
+                accesses[lanes] += 1
+                carries = routed[nodes]
+                best[lanes[carries]] = hops[nodes[carries]]
+            return best, accesses
+
+        return kernel
 
     def lookup_with_length(self, address: int) -> tuple[NextHop, int]:
         """LPM returning (next_hop, matched prefix length); -1 length if none."""

@@ -39,10 +39,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher
 
 TRIE_NODE_BYTES = 4
 BASE_ENTRY_BYTES = 8
@@ -325,6 +327,94 @@ class LCTrie(LongestPrefixMatcher):
                 return prefix_entry.next_hop
             chain = prefix_entry.chain
         return self._default_hop
+
+    def _compile_batch_kernel(self) -> BatchKernel:
+        """Pack nodes, child lists, base vector and prefix table into flat
+        arrays.  The batch walks branch nodes level-synchronously (every
+        in-flight address consumes its skip+branch bits per vector op),
+        then resolves base-entry comparisons and prefix-chain walks with
+        masked vector steps.  Access counting replicates :meth:`lookup`:
+        one read per node visited, one base-vector read, one per
+        prefix-table entry examined."""
+        branch_a = np.asarray([n[0] for n in self.nodes], dtype=np.int64)
+        skip_a = np.asarray([n[1] for n in self.nodes], dtype=np.int64)
+        adr_a = np.asarray([n[2] for n in self.nodes], dtype=np.int64)
+        sizes = np.asarray(
+            [len(c) for c in self._child_lists] or [0], dtype=np.int64
+        )
+        clist_base = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        child_flat = np.asarray(
+            [c for cl in self._child_lists for c in cl] or [0], dtype=np.int64
+        )
+        b_value = np.asarray([e.value for e in self.base], dtype=np.uint64)
+        b_length = np.asarray([e.length for e in self.base], dtype=np.int64)
+        b_hop = np.asarray([e.next_hop for e in self.base], dtype=np.int64)
+        b_chain = np.asarray([e.chain for e in self.base], dtype=np.int64)
+        p_length = np.asarray(
+            [e.length for e in self.prefix_table] or [1], dtype=np.int64
+        )
+        p_hop = np.asarray(
+            [e.next_hop for e in self.prefix_table] or [NO_ROUTE], dtype=np.int64
+        )
+        p_chain = np.asarray(
+            [e.chain for e in self.prefix_table] or [_NO_PREFIX], dtype=np.int64
+        )
+        width = self.width
+        default_hop = self._default_hop
+
+        def kernel(addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            n = addrs.shape[0]
+            accesses = np.ones(n, dtype=np.int64)  # root read
+            entry = np.empty(n, dtype=np.int64)    # base index once retired
+            lanes = np.arange(n)
+            nodes_now = np.zeros(n, dtype=np.int64)
+            pos = np.zeros(n, dtype=np.int64)
+            while lanes.size:
+                branch = branch_a[nodes_now]
+                leaf = branch == 0
+                if leaf.any():
+                    entry[lanes[leaf]] = adr_a[nodes_now[leaf]]
+                    keep = ~leaf
+                    lanes = lanes[keep]
+                    if lanes.size == 0:
+                        break
+                    nodes_now = nodes_now[keep]
+                    pos = pos[keep]
+                    branch = branch[keep]
+                pos = pos + skip_a[nodes_now]
+                shift = (width - pos - branch).astype(np.uint64)
+                pattern = (addrs[lanes] >> shift).astype(np.int64) & (
+                    (np.int64(1) << branch) - 1
+                )
+                nodes_now = child_flat[clist_base[adr_a[nodes_now]] + pattern]
+                pos = pos + branch
+                accesses[lanes] += 1
+            accesses += 1  # base-vector read
+            diff = addrs ^ b_value[entry]
+            length = b_length[entry]
+            clipped = np.minimum(length, width)
+            matched = (length <= width) & (
+                (length == 0)
+                | (diff >> (width - clipped).astype(np.uint64) == 0)
+            )
+            best = np.where(matched, b_hop[entry], default_hop)
+            lanes = np.nonzero(~matched)[0]
+            chain = b_chain[entry[lanes]]
+            while lanes.size:
+                alive = chain != _NO_PREFIX
+                lanes = lanes[alive]
+                chain = chain[alive]
+                if lanes.size == 0:
+                    break
+                accesses[lanes] += 1  # prefix-table read
+                plen = p_length[chain]
+                hit = diff[lanes] >> (width - plen).astype(np.uint64) == 0
+                best[lanes[hit]] = p_hop[chain[hit]]
+                lanes = lanes[~hit]
+                chain = p_chain[chain[~hit]]
+            return best.astype(np.int64), accesses
+
+        return kernel
 
     # -- storage ----------------------------------------------------------------
 

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher
 
 ENTRY_BYTES = 4
 
@@ -108,6 +110,7 @@ class MultibitTrie(LongestPrefixMatcher):
             count = 1 << (boundary - prefix.length)
         for i in range(first, first + count):
             self._paint(node, i, hop, prefix.length)
+        self._invalidate_batch()
 
     def _paint(self, node: _MultibitNode, index: int, hop: NextHop, length: int) -> None:
         if length >= node.lens[index]:
@@ -138,6 +141,66 @@ class MultibitTrie(LongestPrefixMatcher):
                 break
         counter.finish()
         return best
+
+    def _compile_batch_kernel(self) -> BatchKernel:
+        """Flatten every node's entries into hop/child arrays (per-node base
+        offsets) so a whole address batch descends one stride level per
+        vector op.  Access counts match :meth:`lookup`: one entry read per
+        level visited."""
+        bases: List[int] = []
+        flat_hops: List[List[NextHop]] = []
+        node_ids: dict[int, int] = {}
+        queue: List[_MultibitNode] = [self.root]
+        node_ids[id(self.root)] = 0
+        total = 0
+        nodes: List[_MultibitNode] = []
+        while queue:
+            node = queue.pop(0)
+            nodes.append(node)
+            bases.append(total)
+            total += len(node.hops)
+            for child in node.children:
+                if child is not None and id(child) not in node_ids:
+                    node_ids[id(child)] = len(node_ids)
+                    queue.append(child)
+        hop_flat = np.full(total, NO_ROUTE, dtype=np.int64)
+        child_flat = np.full(total, -1, dtype=np.int64)
+        for node, base in zip(nodes, bases):
+            hop_flat[base : base + len(node.hops)] = node.hops
+            for i, child in enumerate(node.children):
+                if child is not None:
+                    child_flat[base + i] = node_ids[id(child)]
+        node_base = np.asarray(bases, dtype=np.int64)
+        width = self.width
+        strides = self.strides
+
+        def kernel(addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            n = addrs.shape[0]
+            best = np.full(n, NO_ROUTE, dtype=np.int64)
+            accesses = np.zeros(n, dtype=np.int64)
+            lanes = np.arange(n)
+            nodes_now = np.zeros(n, dtype=np.int64)
+            consumed = 0
+            for stride in strides:
+                shift = np.uint64(width - consumed - stride)
+                index = (
+                    (addrs[lanes] >> shift) & np.uint64((1 << stride) - 1)
+                ).astype(np.int64)
+                entry = node_base[nodes_now] + index
+                accesses[lanes] += 1
+                hop = hop_flat[entry]
+                painted = hop != NO_ROUTE
+                best[lanes[painted]] = hop[painted]
+                advanced = child_flat[entry]
+                alive = advanced >= 0
+                lanes = lanes[alive]
+                if lanes.size == 0:
+                    break
+                nodes_now = advanced[alive]
+                consumed += stride
+            return best, accesses
+
+        return kernel
 
     def storage_bytes(self) -> int:
         return self.entry_count * ENTRY_BYTES

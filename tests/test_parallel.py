@@ -1,5 +1,7 @@
 """Tests for the process-parallel sweep driver."""
 
+import warnings
+
 import pytest
 
 from repro.experiments.parallel import run_spal_grid, workers_from_env
@@ -23,7 +25,14 @@ class TestWorkersFromEnv:
 
     def test_garbage_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        assert workers_from_env() == 1
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS='many'"):
+            assert workers_from_env() == 1
+
+    def test_valid_value_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert workers_from_env() == 2
 
     def test_floor_at_one(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "0")
