@@ -91,11 +91,52 @@ only speed.
 """
 
 
+FAULT_SECTION = """
+## Fault injection & failover
+
+`FaultSchedule` (in `repro.core`) scripts deterministic fault events
+against a simulator run: `fail_lc(cycle, lc)` fail-stops a line card,
+`recover_lc(cycle, lc)` brings it back with a cold (flushed) cache, and
+`degrade_fabric(start, end, extra_latency=..., drop_prob=...)` opens a
+degradation window on the switching fabric (message losses are drawn
+from the schedule's own seeded RNG).  Pass the schedule to
+`SpalSimulator.run(streams, faults=...)`; fault events interleave with
+packet events in cycle order, and an empty/absent schedule reproduces
+the fault-free simulator bit for bit.
+
+Failure semantics are fail-stop at packet boundaries.  A failed LC drops
+its own new arrivals (counted `ingress`), ignores incoming remote
+requests (the origin times out and fails over), and any lookup that
+would complete *at* a failed card is a counted `crash` drop.  Remote
+requests carry a timeout (`SpalConfig.rem_timeout_cycles`, auto-sized by
+`default_rem_timeout()` when left `None` under a fault schedule) with a
+bounded retry budget (`rem_max_retries`) and exponential backoff; each
+retry targets the next live replica from
+`PartitionPlan.live_replicas(address)`.  Retry exhaustion becomes a
+counted `unreachable` drop — never an unhandled exception — unless
+`on_unreachable="raise"` asks for `LookupTimeoutError` /
+`UnreachablePatternError` as a debugging aid.  LR-caches invalidate REM
+entries whose home died, so stale remote results cannot be served across
+a failure.
+
+Degraded runs populate extra `SimulationResult` fields: `drops` (the
+`ingress`/`crash`/`unreachable` taxonomy), `retries`,
+`fabric_dropped_messages`, `fault_events`, per-LC `lc_availability`, and
+`failover_packets` / `failover_mean_cycles` for lookups that completed
+on a non-first attempt.  Every offered packet ends in exactly one place
+— `completed` or one drop bucket — and the simulator enforces that
+conservation invariant at the end of each run.  Experiment `failover`
+(E15) sweeps replication degree x failure timing; see
+`examples/failover_demo.py` for a compact transient demo.
+"""
+
+
 def main() -> None:
     out: list[str] = [
         "# API reference\n",
         "_Generated by `scripts/gen_api_docs.py`; do not edit by hand._\n",
         BATCH_SECTION,
+        FAULT_SECTION,
     ]
     for pkg_name in SUBPACKAGES:
         pkg = importlib.import_module(pkg_name)

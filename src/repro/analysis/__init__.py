@@ -3,6 +3,8 @@
 from .metrics import (
     aggregate_hit_rates,
     compare,
+    degraded_mode_summary,
+    drop_rate,
     fe_load_imbalance,
     series,
     speedup,
@@ -26,6 +28,8 @@ __all__ = [
     "compare",
     "series",
     "fe_load_imbalance",
+    "drop_rate",
+    "degraded_mode_summary",
     "aggregate_hit_rates",
     "md1_wait",
     "md1_sojourn",

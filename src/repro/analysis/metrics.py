@@ -48,6 +48,32 @@ def fe_load_imbalance(result: SimulationResult) -> float:
     return max(loads) / mean if mean else 1.0
 
 
+def drop_rate(result: SimulationResult) -> float:
+    """Fraction of offered packets lost across all drop reasons (0.0 on
+    fault-free runs)."""
+    return 1.0 - result.delivery_rate if result.total_drops else 0.0
+
+
+def degraded_mode_summary(result: SimulationResult) -> Dict[str, object]:
+    """One row of failover/degradation metrics for a fault-injection run:
+    per-reason drops, retry volume, the failover transient (packets that
+    needed >= 1 retry and their mean latency), and the worst per-LC
+    availability over the horizon."""
+    return {
+        "ingress_drops": result.drops.get("ingress", 0),
+        "crash_drops": result.drops.get("crash", 0),
+        "unreachable_drops": result.drops.get("unreachable", 0),
+        "delivery_rate": round(result.delivery_rate, 6),
+        "retries": result.retries,
+        "fabric_lost": result.fabric_dropped_messages,
+        "failover_packets": result.failover_packets,
+        "failover_mean_cycles": round(result.failover_mean_cycles, 2),
+        "min_availability": round(min(result.lc_availability), 4)
+        if result.lc_availability
+        else 1.0,
+    }
+
+
 def aggregate_hit_rates(results: Iterable[SimulationResult]) -> Dict[str, float]:
     """Min/mean/max overall hit rate across runs."""
     rates = [r.overall_hit_rate for r in results]

@@ -9,6 +9,7 @@ from .fabric import (
     SharedBusFabric,
     default_fabric,
 )
+from .faults import FabricDegradation, FaultSchedule, LCFailure, LCRecovery
 from .line_card import FEStats, ForwardingEngine, LineCard
 from .lr_cache import LOC, REM, CacheEntry, CacheStats, LRCache
 from .partition import (
@@ -38,6 +39,10 @@ __all__ = [
     "CrossbarFabric",
     "MultistageFabric",
     "default_fabric",
+    "FaultSchedule",
+    "LCFailure",
+    "LCRecovery",
+    "FabricDegradation",
     "LineCard",
     "ForwardingEngine",
     "FEStats",

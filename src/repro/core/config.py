@@ -72,6 +72,28 @@ class SpalConfig:
     cache_remote_results:
         Whether replies from remote LCs are cached locally as REM entries
         (disabling reproduces a share-nothing cache).
+    rem_timeout_cycles:
+        Remote-lookup timeout: a request to a home LC unanswered after this
+        many cycles is retried against the next live replica (see
+        ``rem_max_retries``); successive attempts back off exponentially
+        (2x per retry, capped at 8x) so congestion-induced timeouts do not
+        amplify the congestion that caused them.  ``None`` (the default) means *automatic*:
+        timeouts stay disabled — preserving the pre-fault-injection
+        behavior bit-for-bit — unless the run carries a
+        :class:`~repro.core.faults.FaultSchedule` with LC failures or
+        message-loss windows, in which case :meth:`default_rem_timeout`
+        supplies the budget.
+    rem_max_retries:
+        Bounded retry: how many times a timed-out remote lookup is
+        re-issued before the packet becomes a counted ``unreachable`` drop
+        (graceful degradation — the simulator never raises for it unless
+        ``on_unreachable="raise"``).
+    on_unreachable:
+        ``"drop"`` (default) counts retry-exhausted packets in
+        ``SimulationResult.drops``; ``"raise"`` aborts the run with
+        :class:`~repro.errors.UnreachablePatternError` (no live replica
+        holds the pattern) or :class:`~repro.errors.LookupTimeoutError`
+        (replicas live but every attempt timed out) — a debugging aid.
     """
 
     n_lcs: int = 16
@@ -85,14 +107,38 @@ class SpalConfig:
     replicas: int = 1
     early_recording: bool = True
     cache_remote_results: bool = True
+    rem_timeout_cycles: Optional[int] = None
+    rem_max_retries: int = 2
+    on_unreachable: str = "drop"
 
     def validate(self) -> None:
         if self.n_lcs <= 0:
             raise SimulationError("n_lcs must be positive")
         if self.fe_lookup_cycles <= 0:
             raise SimulationError("fe_lookup_cycles must be positive")
+        if self.rem_timeout_cycles is not None and self.rem_timeout_cycles <= 0:
+            raise SimulationError("rem_timeout_cycles must be positive")
+        if self.rem_max_retries < 0:
+            raise SimulationError("rem_max_retries must be non-negative")
+        if self.on_unreachable not in ("drop", "raise"):
+            raise SimulationError(
+                f"on_unreachable must be 'drop' or 'raise', "
+                f"got {self.on_unreachable!r}"
+            )
         if self.cache is not None:
             self.cache.validate()
+
+    def default_rem_timeout(self) -> int:
+        """The automatic remote-lookup timeout used under fault injection.
+
+        Sized to clear a healthy remote round trip with a deep FE backlog:
+        two fabric crossings (latency + FIL both sides), the FE matching
+        time, and a 16-lookup queueing margin — so only genuinely lost
+        requests (dead home LC, dropped message) trip it.
+        """
+        fabric = self.make_fabric()
+        hop = fabric.latency_cycles() + 2 * self.fil_overhead_cycles
+        return 2 * hop + self.fe_lookup_cycles * 16
 
     def make_fabric(self):
         from . import fabric as fabric_mod

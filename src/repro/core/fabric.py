@@ -31,10 +31,37 @@ class Fabric(ABC):
         self._out_free = [0] * n_lcs
         self._in_free = [0] * n_lcs
         self.messages = 0
+        #: Degradation windows as ``(start, end, extra_latency)`` — see
+        #: :meth:`degrade`.  Empty for a healthy fabric.
+        self._degradations: list = []
 
     @abstractmethod
     def latency_cycles(self) -> int:
         """Transit latency in cycles for one message."""
+
+    def degrade(self, start: int, end: int, extra_latency: int) -> None:
+        """Add a brown-out window: messages *departing* in ``[start, end)``
+        pay ``extra_latency`` additional transit cycles (overlapping
+        windows stack).  Message loss is modeled by the simulator, which
+        owns the fault RNG; the fabric itself stays deterministic."""
+        if end <= start:
+            raise SimulationError(
+                f"degradation window [{start}, {end}) is empty"
+            )
+        if extra_latency < 0:
+            raise SimulationError("extra_latency must be non-negative")
+        if extra_latency:
+            self._degradations.append((start, end, extra_latency))
+
+    def extra_latency_at(self, when: int) -> int:
+        """Total degradation latency for a departure at cycle ``when``."""
+        if not self._degradations:
+            return 0
+        return sum(
+            extra
+            for start, end, extra in self._degradations
+            if start <= when < end
+        )
 
     def transfer(self, src: int, dst: int, when: int) -> int:
         """Schedule a message from LC ``src`` to LC ``dst`` entering the
@@ -45,7 +72,7 @@ class Fabric(ABC):
         """
         depart = max(when, self._out_free[src])
         self._out_free[src] = depart + 1
-        arrive = depart + self.latency_cycles()
+        arrive = depart + self.latency_cycles() + self.extra_latency_at(depart)
         arrive = max(arrive, self._in_free[dst])
         self._in_free[dst] = arrive + 1
         self.messages += 1
@@ -55,6 +82,7 @@ class Fabric(ABC):
         self._out_free = [0] * self.n_lcs
         self._in_free = [0] * self.n_lcs
         self.messages = 0
+        self._degradations = []
 
 
 class IdealFabric(Fabric):
@@ -67,7 +95,7 @@ class IdealFabric(Fabric):
 
     def transfer(self, src: int, dst: int, when: int) -> int:
         self.messages += 1
-        return when
+        return when + self.extra_latency_at(when)
 
 
 class SharedBusFabric(Fabric):
@@ -89,7 +117,7 @@ class SharedBusFabric(Fabric):
         depart = max(when, self._bus_free)
         self._bus_free = depart + 1
         self.messages += 1
-        return depart + self.latency_cycles()
+        return depart + self.latency_cycles() + self.extra_latency_at(depart)
 
     def reset(self) -> None:
         super().reset()

@@ -1,0 +1,185 @@
+"""Deterministic fault injection for the SPAL simulator.
+
+The paper's fault-tolerance argument (Sec. 3: a pattern homed on a failed
+line card is unreachable unless replicated) is about *transients*: what the
+router does between the instant an LC dies and the instant the survivors
+absorb its load.  A :class:`FaultSchedule` scripts those transients as
+cycle-stamped events that :meth:`repro.sim.spal_sim.SpalSimulator.run`
+interleaves with packet arrivals:
+
+* :meth:`FaultSchedule.fail_lc` — an LC fail-stops at a cycle: it accepts
+  no new packets (ingress drops), ignores new remote lookup requests
+  (requesters time out and fail over to the next live replica), and any
+  lookup completing at the dead LC is lost;
+* :meth:`FaultSchedule.recover_lc` — the LC rejoins with a cold LR-cache;
+* :meth:`FaultSchedule.degrade_fabric` — a window during which every
+  fabric message pays extra latency and/or is dropped with a probability
+  drawn from the schedule's seeded RNG.
+
+Everything is deterministic: the same schedule, seeds and streams produce
+bit-identical :class:`~repro.sim.results.SimulationResult` objects across
+repeats and across the batch fast path being on or off, and an *empty*
+schedule leaves the simulator's outputs exactly as they were without one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import FaultScheduleError
+
+
+@dataclass(frozen=True)
+class LCFailure:
+    """Fail-stop of one line card at ``cycle``."""
+
+    cycle: int
+    lc: int
+
+
+@dataclass(frozen=True)
+class LCRecovery:
+    """Re-admission of a failed line card (cold cache) at ``cycle``."""
+
+    cycle: int
+    lc: int
+
+
+@dataclass(frozen=True)
+class FabricDegradation:
+    """A fabric brown-out over ``[start, end)``: messages entering the
+    fabric in the window pay ``extra_latency`` cycles and are lost with
+    probability ``drop_prob`` (seeded RNG, drawn in event order)."""
+
+    start: int
+    end: int
+    extra_latency: int = 0
+    drop_prob: float = 0.0
+
+
+class FaultSchedule:
+    """A scripted, deterministic sequence of fault events.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the RNG behind probabilistic fabric drops.  Runs that
+        share a schedule object but need independent drop draws should use
+        distinct schedules (the simulator never mutates the schedule; it
+        builds its own generator from ``seed`` each run).
+
+    The builder methods return ``self`` so schedules chain::
+
+        faults = (FaultSchedule()
+                  .fail_lc(cycle=50_000, lc=2)
+                  .recover_lc(cycle=150_000, lc=2))
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.failures: List[LCFailure] = []
+        self.recoveries: List[LCRecovery] = []
+        self.degradations: List[FabricDegradation] = []
+
+    # -- builders ------------------------------------------------------------
+
+    def fail_lc(self, cycle: int, lc: int) -> "FaultSchedule":
+        """Fail-stop LC ``lc`` at ``cycle``."""
+        if cycle < 0:
+            raise FaultScheduleError(f"fault cycle must be >= 0, got {cycle}")
+        if lc < 0:
+            raise FaultScheduleError(f"LC index must be >= 0, got {lc}")
+        self.failures.append(LCFailure(int(cycle), int(lc)))
+        return self
+
+    def recover_lc(self, cycle: int, lc: int) -> "FaultSchedule":
+        """Re-admit LC ``lc`` at ``cycle`` with a cold LR-cache."""
+        if cycle < 0:
+            raise FaultScheduleError(f"fault cycle must be >= 0, got {cycle}")
+        if lc < 0:
+            raise FaultScheduleError(f"LC index must be >= 0, got {lc}")
+        self.recoveries.append(LCRecovery(int(cycle), int(lc)))
+        return self
+
+    def degrade_fabric(
+        self,
+        start: int,
+        end: int,
+        extra_latency: int = 0,
+        drop_prob: float = 0.0,
+    ) -> "FaultSchedule":
+        """Degrade the fabric over ``[start, end)``."""
+        if start < 0 or end <= start:
+            raise FaultScheduleError(
+                f"degradation window [{start}, {end}) is empty or negative"
+            )
+        if extra_latency < 0:
+            raise FaultScheduleError("extra_latency must be non-negative")
+        if not 0.0 <= drop_prob < 1.0:
+            raise FaultScheduleError(
+                f"drop_prob must be in [0, 1), got {drop_prob}"
+            )
+        self.degradations.append(
+            FabricDegradation(int(start), int(end), int(extra_latency), float(drop_prob))
+        )
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule carries no events at all — the simulator
+        then behaves bit-identically to a run with no schedule."""
+        return not (self.failures or self.recoveries or self.degradations)
+
+    @property
+    def has_lc_events(self) -> bool:
+        return bool(self.failures or self.recoveries)
+
+    @property
+    def has_drops(self) -> bool:
+        return any(d.drop_prob > 0.0 for d in self.degradations)
+
+    def lc_events(self) -> List[Tuple[int, str, int]]:
+        """All LC events as ``(cycle, kind, lc)``, time-ordered; a failure
+        and recovery of the same LC at the same cycle applies the failure
+        first (the recovery then re-admits it that cycle)."""
+        events = [(f.cycle, "fail", f.lc) for f in self.failures] + [
+            (r.cycle, "recover", r.lc) for r in self.recoveries
+        ]
+        # "fail" < "recover" lexicographically — the documented tiebreak.
+        return sorted(events)
+
+    def drop_prob_at(self, cycle: int) -> float:
+        """Loss probability for a message entering the fabric at ``cycle``
+        (overlapping windows compose as independent loss events)."""
+        survive = 1.0
+        for d in self.degradations:
+            if d.start <= cycle < d.end and d.drop_prob > 0.0:
+                survive *= 1.0 - d.drop_prob
+        return 1.0 - survive
+
+    def validate(self, n_lcs: Optional[int] = None) -> None:
+        """Check the schedule against a router shape.
+
+        Raises :class:`~repro.errors.FaultScheduleError` if any event names
+        an LC outside ``[0, n_lcs)``.  Event-level range/shape checks run
+        eagerly in the builders; this catches shape mismatches that only
+        exist relative to a concrete router.
+        """
+        if n_lcs is None:
+            return
+        for ev in [*self.failures, *self.recoveries]:
+            if ev.lc >= n_lcs:
+                raise FaultScheduleError(
+                    f"fault event names LC {ev.lc}, but the router has "
+                    f"{n_lcs} LCs"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule({len(self.failures)} failures, "
+            f"{len(self.recoveries)} recoveries, "
+            f"{len(self.degradations)} fabric windows, seed={self.seed})"
+        )

@@ -66,6 +66,8 @@ class LineCard:
     ):
         self.index = index
         self.fe = ForwardingEngine(table, matcher_factory)
+        #: False while the LC is fail-stopped (see :meth:`fail`).
+        self.alive = True
         self.cache: Optional[LRCache] = None
         if cache_config is not None:
             cache_config.validate()
@@ -102,6 +104,16 @@ class LineCard:
         """Cache a result obtained from a remote home LC (M = REM)."""
         if self.cache is not None:
             self.cache.insert_complete(address, next_hop, REM)
+
+    def fail(self) -> None:
+        """Fail-stop this LC: it answers no lookups until :meth:`recover`."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Re-admit the LC with a cold LR-cache (its contents are stale —
+        it may have missed routing updates while down)."""
+        self.alive = True
+        self.flush_cache()
 
     def flush_cache(self) -> None:
         if self.cache is not None:

@@ -246,6 +246,64 @@ class LRCache:
             self.victim.flush()
         self.stats.flushes += 1
 
+    def discard_entry(self, entry: CacheEntry) -> bool:
+        """Remove one specific entry (identity match) from its set.
+
+        Used when an in-flight lookup is abandoned — e.g. a remote request
+        whose every retry timed out: its waiting reservation must not keep
+        parking later packets on a result that will never arrive.  Returns
+        True if the entry was present.
+        """
+        target_set = self._set_of(entry.address)
+        if target_set.get(entry.address) is entry:
+            del target_set[entry.address]
+            return True
+        return False
+
+    def take_waiting_entries(self) -> List[CacheEntry]:
+        """Remove and return every waiting (W=1) entry.
+
+        The fail-stop sweep: a dying LC's in-flight reservations will never
+        be filled by it, so the simulator pulls them out and disposes of
+        their waiting lists (local packets crash, remote requesters recover
+        via their timeout).  The victim cache never holds waiting entries.
+        """
+        out: List[CacheEntry] = []
+        for s in self._sets:
+            waiting = [addr for addr, e in s.items() if e.waiting]
+            for addr in waiting:
+                out.append(s.pop(addr))
+        return out
+
+    def invalidate_remote(self, predicate) -> int:
+        """Drop complete REM entries whose address satisfies ``predicate``.
+
+        The failover invalidation hook: when a home LC dies, results this
+        cache fetched from it are no longer trustworthy (the failed LC's
+        table may miss updates applied while it is down), so the simulator
+        drops every complete REM entry homed there.  Waiting entries stay —
+        their in-flight flow resolves via timeout/failover instead.
+        Returns the number of entries dropped.
+        """
+        dropped = 0
+        for s in self._sets:
+            stale = [
+                addr
+                for addr, entry in s.items()
+                if entry.mix == REM
+                and not entry.waiting
+                and predicate(addr)
+            ]
+            for addr in stale:
+                del s[addr]
+            dropped += len(stale)
+        if self.victim is not None:
+            victim = self.victim
+            dropped += victim.discard_matching(
+                lambda addr: victim.peek(addr).mix == REM and predicate(addr)
+            )
+        return dropped
+
     def invalidate_matching(self, prefix) -> int:
         """Selective invalidation: drop only the complete entries whose
         address falls under ``prefix`` (a :class:`repro.routing.Prefix`).

@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..batching import MAX_KERNEL_WIDTH, batch_enabled
-from ..errors import PartitionError
+from ..errors import PartitionError, UnreachablePatternError
 from ..routing.prefix import Prefix
 from ..routing.table import NextHop, RoutingTable
 
@@ -314,6 +314,16 @@ class PartitionPlan:
     replicas_of_pattern: Optional[List[List[int]]] = None
     #: LCs currently marked failed (affects ``home_lc`` replica choice).
     failed_lcs: "set[int]" = field(default_factory=set)
+    #: Mutation counter: bumped by every :meth:`fail_lc`/:meth:`restore_lc`.
+    #: Consumers that cache anything derived from the failure state (the
+    #: simulator's precomputed per-stream homes, the padded live-replica
+    #: table below) key their caches on this and recompute on mismatch —
+    #: the fix for silently-stale fast paths after a mid-run ``fail_lc``.
+    epoch: int = 0
+    #: Cached ``(epoch, live_tab, n_live)`` for :meth:`home_lc_batch`.
+    _live_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False
+    )
 
     @property
     def width(self) -> int:
@@ -332,10 +342,21 @@ class PartitionPlan:
         replicas = self.replicas_of_pattern[pattern]
         live = [lc for lc in replicas if lc not in self.failed_lcs]
         if not live:
-            raise PartitionError(
+            raise UnreachablePatternError(
                 f"all replicas of pattern {pattern:#b} have failed"
             )
         return live[address % len(live)]
+
+    def live_replicas(self, address: int) -> List[int]:
+        """The live LCs able to answer lookups for ``address``, primary
+        first.  Empty when every holder has failed (an unreplicated plan
+        has exactly one holder)."""
+        pattern = pattern_of(address, self.bits, self.width)
+        if self.replicas_of_pattern is None:
+            holders = [self.lc_of_pattern[pattern]]
+        else:
+            holders = self.replicas_of_pattern[pattern]
+        return [lc for lc in holders if lc not in self.failed_lcs]
 
     def home_lc_batch(self, addresses: Sequence[int]) -> np.ndarray:
         """Vectorized :meth:`home_lc` over a whole address stream.
@@ -357,7 +378,26 @@ class PartitionPlan:
         patterns = pattern_of_batch(addrs, self.bits, width)
         if self.replicas_of_pattern is None:
             return np.asarray(self.lc_of_pattern, dtype=np.int64)[patterns]
-        # Padded live-replica table: row per pattern, failed LCs dropped.
+        live_tab, n_live = self._live_replica_table()
+        counts = n_live[patterns]
+        if not counts.all():
+            dead = int(patterns[counts == 0][0])
+            raise UnreachablePatternError(
+                f"all replicas of pattern {dead:#b} have failed"
+            )
+        choice = (addrs % counts.astype(np.uint64)).astype(np.int64)
+        return live_tab[patterns, choice]
+
+    def _live_replica_table(self) -> tuple:
+        """Padded live-replica table: row per pattern, failed LCs dropped.
+
+        Cached per :attr:`epoch` so repeated ``home_lc_batch`` calls under
+        an unchanged failure set don't rebuild it.
+        """
+        cached = self._live_cache
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1], cached[2]
+        assert self.replicas_of_pattern is not None
         n_patterns = len(self.replicas_of_pattern)
         max_r = max(len(r) for r in self.replicas_of_pattern)
         live_tab = np.zeros((n_patterns, max_r), dtype=np.int64)
@@ -366,14 +406,8 @@ class PartitionPlan:
             live = [lc for lc in replicas if lc not in self.failed_lcs]
             n_live[p] = len(live)
             live_tab[p, : len(live)] = live
-        counts = n_live[patterns]
-        if not counts.all():
-            dead = int(patterns[counts == 0][0])
-            raise PartitionError(
-                f"all replicas of pattern {dead:#b} have failed"
-            )
-        choice = (addrs % counts.astype(np.uint64)).astype(np.int64)
-        return live_tab[patterns, choice]
+        self._live_cache = (self.epoch, live_tab, n_live)
+        return live_tab, n_live
 
     def fail_lc(self, lc: int) -> None:
         """Mark an LC failed: its home load shifts to surviving replicas.
@@ -383,10 +417,36 @@ class PartitionPlan:
         """
         if not 0 <= lc < self.n_lcs:
             raise PartitionError(f"LC {lc} out of range")
-        self.failed_lcs.add(lc)
+        if lc not in self.failed_lcs:
+            self.failed_lcs.add(lc)
+            self.epoch += 1
 
     def restore_lc(self, lc: int) -> None:
-        self.failed_lcs.discard(lc)
+        """Clear an LC's failed mark (idempotent for live LCs)."""
+        if not 0 <= lc < self.n_lcs:
+            raise PartitionError(f"LC {lc} out of range")
+        if lc in self.failed_lcs:
+            self.failed_lcs.discard(lc)
+            self.epoch += 1
+
+    def copy_for_faults(self) -> "PartitionPlan":
+        """An independent view of this plan for a fault-injected run.
+
+        Shares the (read-only) forwarding tables and pattern maps but owns
+        its ``failed_lcs`` set and epoch, so a simulator applying a
+        :class:`~repro.core.faults.FaultSchedule` never mutates a plan that
+        other runs (or a memoizing caller) also hold.
+        """
+        return PartitionPlan(
+            bits=self.bits,
+            n_lcs=self.n_lcs,
+            lc_of_pattern=self.lc_of_pattern,
+            tables=self.tables,
+            source_version=self.source_version,
+            replicas_of_pattern=self.replicas_of_pattern,
+            failed_lcs=set(self.failed_lcs),
+            epoch=self.epoch,
+        )
 
     def partition_sizes(self) -> List[int]:
         return [len(t) for t in self.tables]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..errors import SimulationError
+from ..errors import SimulationError, UnreachablePatternError
 from ..routing.prefix import Prefix
 from ..routing.table import NextHop, RoutingTable
 from ..tries.base import LongestPrefixMatcher
@@ -99,6 +99,10 @@ class SpalRouter:
         through the full SPAL flow."""
         if not 0 <= arrival_lc < self.config.n_lcs:
             raise SimulationError(f"arrival LC {arrival_lc} out of range")
+        if not self.line_cards[arrival_lc].alive:
+            raise SimulationError(
+                f"arrival LC {arrival_lc} is failed; its ports are down"
+            )
         self.stats.lookups += 1
         lc = self.line_cards[arrival_lc]
         # Arrival-LC cache probe.
@@ -106,7 +110,14 @@ class SpalRouter:
             entry = lc.cache.probe(address)
             if entry is not None and not entry.waiting:
                 return entry.next_hop  # type: ignore[return-value]
+        # home_lc skips failed replicas; with no replication it still names
+        # the (possibly dead) primary, which the aliveness check catches.
         home = self.plan.home_lc(address)
+        if not self.line_cards[home].alive:
+            raise UnreachablePatternError(
+                f"home LC {home} is failed and the pattern of "
+                f"{address:#x} has no live replica"
+            )
         if home == arrival_lc:
             self.stats.local_home += 1
             return lc.lookup_local(address, mix=LOC)
@@ -123,6 +134,42 @@ class SpalRouter:
         verification and by the partition-preserving-LPM invariant tests)."""
         home = self.plan.home_lc(address)
         return self.line_cards[home].fe.matcher.lookup(address)
+
+    # -- failover ------------------------------------------------------------
+
+    def fail_line_card(self, lc_index: int) -> None:
+        """Fail-stop one LC: its home load shifts to live replicas (if the
+        plan is replicated) and every other LC drops the REM cache entries
+        it fetched from the dead card — those results can go stale while
+        the card is down.
+
+        The stale set is computed with the *pre-failure* replica choice
+        (an address's REM result came from its then-home LC), so the
+        invalidation runs before the plan is mutated.
+        """
+        if not 0 <= lc_index < self.config.n_lcs:
+            raise SimulationError(f"LC {lc_index} out of range")
+        if lc_index not in self.plan.failed_lcs:
+            for other in self.line_cards:
+                if other.index != lc_index and other.cache is not None:
+                    other.cache.invalidate_remote(
+                        lambda addr: self._homed_at(addr, lc_index)
+                    )
+        self.plan.fail_lc(lc_index)
+        self.line_cards[lc_index].fail()
+
+    def recover_line_card(self, lc_index: int) -> None:
+        """Re-admit a failed LC with a cold cache."""
+        if not 0 <= lc_index < self.config.n_lcs:
+            raise SimulationError(f"LC {lc_index} out of range")
+        self.plan.restore_lc(lc_index)
+        self.line_cards[lc_index].recover()
+
+    def _homed_at(self, address: int, lc_index: int) -> bool:
+        try:
+            return self.plan.home_lc(address) == lc_index
+        except UnreachablePatternError:
+            return True  # whole pattern already dead — certainly stale
 
     # -- updates ------------------------------------------------------------
 

@@ -19,12 +19,36 @@ class PartitionError(ReproError):
     """Table partitioning could not satisfy the request."""
 
 
+class UnreachablePatternError(PartitionError):
+    """Every replica LC holding a pattern has failed: no live LC can answer
+    lookups for addresses in that pattern until one recovers.
+
+    Subclasses :class:`PartitionError` so pre-fault-injection callers that
+    caught the broad class keep working.
+    """
+
+
 class CacheConfigError(ReproError, ValueError):
     """An LR-cache / victim-cache configuration is invalid."""
 
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class LookupTimeoutError(SimulationError):
+    """A remote lookup exceeded its timeout budget with retries exhausted
+    while live replicas still existed (transient congestion or message
+    loss, not a dead pattern).
+
+    Only raised under ``SpalConfig(on_unreachable="raise")``; the default
+    policy counts the packet as a drop instead.
+    """
+
+
+class FaultScheduleError(SimulationError, ValueError):
+    """A :class:`repro.core.faults.FaultSchedule` is malformed (negative
+    cycle, out-of-range LC, bad degradation window or probability)."""
 
 
 class TrieError(ReproError):

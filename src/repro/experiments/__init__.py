@@ -19,6 +19,7 @@ from .ablations import (
     run_oversubscription_ablation,
     run_scenario_matrix,
 )
+from .failover import run_failover
 from .ipv6_storage import run_ipv6_storage
 from .lc_fill import run_lc_fill_sweep
 from .replication_exp import run_replication
@@ -63,6 +64,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "scorecard": run_scorecard,
     "aggregation": run_aggregation,
     "replication": run_replication,
+    "failover": run_failover,
     "strides": run_stride_optimization,
     "rt1-trend": run_rt1_trend,
 }
@@ -98,6 +100,7 @@ __all__ = [
     "run_scorecard",
     "run_aggregation",
     "run_replication",
+    "run_failover",
     "run_stride_optimization",
     "run_rt1_trend",
 ]

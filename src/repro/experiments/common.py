@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.config import CacheConfig, SpalConfig
+from ..core.faults import FaultSchedule
 from ..core.partition import PartitionPlan, partition_table
 from ..routing.synthetic import make_rt1, make_rt2
 from ..routing.table import RoutingTable
@@ -136,11 +137,15 @@ def run_spal(
     fabric: str = "default",
     fabric_latency: Optional[int] = None,
     scale_beta: bool = True,
+    replicas: int = 1,
+    faults: Optional[FaultSchedule] = None,
 ) -> SimulationResult:
     """One SPAL simulation with the paper's defaults; the figure runners are
     thin sweeps over this function.  ``cache_blocks`` is the paper-nominal
     β; it is shrunk via :func:`scale_cache` at reduced scale unless
-    ``scale_beta=False``."""
+    ``scale_beta=False``.  ``faults`` forwards a
+    :class:`~repro.core.faults.FaultSchedule` to the run (memoized plans
+    are safe: the simulator mutates a private copy under LC faults)."""
     table = get_rt1() if table_id == "rt1" else get_rt2()
     n = packets_per_lc if packets_per_lc is not None else default_packets_per_lc()
     if scale_beta:
@@ -165,6 +170,7 @@ def run_spal(
         cache_remote_results=cache_remote_results,
         fabric=fabric,
         fabric_latency=fabric_latency,
+        replicas=replicas,
     )
     if (
         partitioned
@@ -186,6 +192,7 @@ def run_spal(
         speed_gbps=speed_gbps,
         warmup_packets=n // 10,
         name=f"{trace}/psi={n_lcs}",
+        faults=faults,
     )
 
 

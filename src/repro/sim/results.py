@@ -28,6 +28,20 @@ class SimulationResult:
     fabric_messages: int = 0
     flushes: int = 0
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Degraded-mode accounting, populated only on fault-injection runs
+    #: (:meth:`SpalSimulator.run` with a non-empty FaultSchedule or an
+    #: explicit ``rem_timeout_cycles``); fault-free runs keep the defaults.
+    drops: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    fabric_dropped_messages: int = 0
+    fault_events: int = 0
+    #: Per-LC fraction of the horizon the LC was up (1.0 everywhere on
+    #: fault-free runs; empty when no fault machinery was active).
+    lc_availability: List[float] = field(default_factory=list)
+    #: Measured packets that completed only after >= 1 failover retry,
+    #: and their mean lookup latency (the failover transient cost).
+    failover_packets: int = 0
+    failover_mean_cycles: float = 0.0
 
     @property
     def packets(self) -> int:
@@ -98,8 +112,20 @@ class SimulationResult:
                 out.append(float(self.latencies[lo:hi].mean()))
         return out
 
+    @property
+    def total_drops(self) -> int:
+        """All packet drops across reasons (ingress + crash + unreachable)."""
+        return sum(self.drops.values())
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of simulated packets that completed their lookup
+        (1.0 on fault-free runs)."""
+        offered = self.packets + self.total_drops
+        return self.packets / offered if offered else 0.0
+
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "packets": self.packets,
             "mean_cycles": round(self.mean_lookup_cycles, 3),
             "p99_cycles": round(self.percentile(99), 1),
@@ -108,3 +134,16 @@ class SimulationResult:
             "router_mpps": round(self.router_mpps, 1),
             "fabric_messages": self.fabric_messages,
         }
+        # Degraded-mode keys only appear when something degraded, so
+        # fault-free summaries stay byte-identical to pre-fault-layer runs.
+        if self.total_drops:
+            out["dropped"] = self.total_drops
+            out["delivery_rate"] = round(self.delivery_rate, 6)
+        if self.retries:
+            out["retries"] = self.retries
+        if self.fabric_dropped_messages:
+            out["fabric_dropped_messages"] = self.fabric_dropped_messages
+        if self.failover_packets:
+            out["failover_packets"] = self.failover_packets
+            out["failover_mean_cycles"] = round(self.failover_mean_cycles, 3)
+        return out

@@ -17,6 +17,24 @@ Implementation is event-driven over :class:`repro.sim.engine.EventQueue`;
 all integer-cycle semantics (port/FE serialization, fabric latency and port
 contention) are enforced by :class:`Resource` and the fabric model, so the
 event heap only visits cycles where something happens.
+
+**Fault injection.**  :meth:`SpalSimulator.run` accepts a
+:class:`~repro.core.faults.FaultSchedule` whose events interleave with
+packet events (a fault at cycle T applies before T's arrivals).  A failed
+LC fail-stops at the packet boundary: new arrivals at it are counted
+``ingress`` drops, new remote requests to it are silently ignored (the
+requester times out after ``rem_timeout_cycles`` and retries against the
+next live replica, up to ``rem_max_retries`` times, after which the packet
+is a counted ``unreachable`` drop — never an exception under the default
+policy), and any lookup that completes *at* a failed LC is a ``crash``
+drop.  FE work already accepted before the failure drains silently.
+Recovery re-admits the LC with a cold (flushed) LR-cache, and the other
+LCs drop the REM entries they had fetched from a dying LC the moment it
+fails.  Fault runs are deterministic — same schedule, seeds and streams
+give bit-identical results, with the batch fast path on or off — and an
+empty schedule reproduces the fault-free simulator exactly.  Note that
+trailing timeout-check events can extend the reported horizon slightly
+past the last packet's completion on fault runs.
 """
 
 from __future__ import annotations
@@ -27,9 +45,14 @@ import numpy as np
 
 from ..batching import MAX_KERNEL_WIDTH, batch_enabled
 from ..core.config import SpalConfig
+from ..core.faults import FaultSchedule
 from ..core.lr_cache import LOC, REM, LRCache
 from ..core.partition import PartitionPlan, partition_table
-from ..errors import SimulationError
+from ..errors import (
+    LookupTimeoutError,
+    SimulationError,
+    UnreachablePatternError,
+)
 from ..routing.table import RoutingTable
 from ..tries.reference import HashReferenceMatcher
 from ..traffic.packets import arrival_times
@@ -46,10 +69,11 @@ class _Packet:
         "arrival_time",
         "complete_time",
         "entry",
-        "_home_entry",
         "measured",
         "home",
         "hop",
+        "attempt",
+        "dropped",
     )
 
     def __init__(self, dest: int, arrival_lc: int, arrival_time: int):
@@ -58,10 +82,11 @@ class _Packet:
         self.arrival_time = arrival_time
         self.complete_time = -1
         self.entry = None        # reserved LR-cache entry at the arrival LC
-        self._home_entry = None  # reserved entry at the home LC (remote flow)
         self.measured = True     # False during the warmup window
         self.home = -1           # precomputed home LC (-1 = compute on demand)
         self.hop = None          # precomputed FE result (None = look up at FE)
+        self.attempt = 0         # remote-request attempt (bumped per retry)
+        self.dropped = None      # drop reason, or None while in flight
 
 
 class _RemoteWaiter:
@@ -177,6 +202,7 @@ class SpalSimulator:
         #: (Fig. 2's Request Queue occupancy — a router-sizing output).
         self.max_fe_backlog = [0] * n
         self.completed: List[_Packet] = []
+        self.dropped_packets: List[_Packet] = []
         self.flushes = 0
         self._oracle = HashReferenceMatcher(table) if verify else None
         # Pre-computed control-bit home mapping for speed.
@@ -184,6 +210,24 @@ class SpalSimulator:
             self._home = self.plan.home_lc
         else:
             self._home = None
+        # -- fault-injection state (inert without a FaultSchedule) --------
+        self._faults: Optional[FaultSchedule] = None
+        #: Remote-lookup timeout budget; config value, or the automatic
+        #: default once a schedule with failures/drops is attached in run().
+        self._timeout: Optional[int] = self.config.rem_timeout_cycles
+        self._fault_rng: Optional[np.random.Generator] = None
+        self._failed = [False] * n
+        self._fail_at = [0] * n
+        self._down_cycles = [0] * n
+        self.drops = {"ingress": 0, "crash": 0, "unreachable": 0}
+        self.retries = 0
+        self.fabric_dropped_messages = 0
+        self.fault_event_count = 0
+        #: Plan epoch captured when per-stream homes were precomputed; any
+        #: later plan mutation (a fault event, or the caller poking
+        #: ``plan.fail_lc`` from an update hook) invalidates the
+        #: precomputed homes and _home_of recomputes them scalar.
+        self._plan_epoch = self.plan.epoch if self.plan is not None else 0
 
     # -- event handlers ------------------------------------------------------
 
@@ -194,8 +238,27 @@ class SpalSimulator:
         fil = self.config.fil_overhead_cycles
         return self.fabric.transfer(src, dst, when + fil) + fil
 
+    def _send(self, src: int, dst: int, when: int, handler, *args) -> None:
+        """Send one fabric message and schedule its delivery handler.
+
+        Under a fabric-degradation window with ``drop_prob > 0`` the
+        message may be lost (seeded RNG, drawn in event order): the port
+        slots are still consumed — the message entered the fabric — but no
+        delivery fires, and the affected lookup recovers via the remote
+        timeout.
+        """
+        arrive = self._transfer(src, dst, when)
+        if self._faults is not None:
+            p = self._faults.drop_prob_at(when)
+            if p > 0.0 and self._fault_rng.random() < p:
+                self.fabric_dropped_messages += 1
+                return
+        self.queue.schedule(arrive, handler, *args)
+
     def _home_of(self, pkt: _Packet, arrival_lc: int) -> int:
-        if pkt.home >= 0:
+        if pkt.home >= 0 and (
+            self.plan is None or self.plan.epoch == self._plan_epoch
+        ):
             return pkt.home
         if self._home is None:
             return arrival_lc
@@ -203,6 +266,11 @@ class SpalSimulator:
 
     def _arrive(self, pkt: _Packet, lc: int) -> None:
         """Packet header reaches the LR-cache stage of LC ``lc``."""
+        if self._failed[lc]:
+            # The LC's external ports are down: traffic offered to a dead
+            # card is lost at ingress, never queued.
+            self._drop(pkt, "ingress")
+            return
         now = self.queue.now
         cache = self.caches[lc]
         if cache is None:
@@ -227,6 +295,10 @@ class SpalSimulator:
         self._probe_at(pkt, lc, start)
 
     def _probe_at(self, pkt: _Packet, lc: int, now: int) -> None:
+        if self._failed[lc]:
+            # The LC died while this packet sat in its port queue.
+            self._drop(pkt, "crash")
+            return
         cache = self.caches[lc]
         assert cache is not None
         entry = cache.probe(pkt.dest)
@@ -258,27 +330,59 @@ class SpalSimulator:
         if home == lc:
             self._fe_request(pkt, lc, now, origin=None)
         else:
-            arrive = self._transfer(lc, home, now + 1)
-            self.queue.schedule(arrive, self._remote_request, pkt, home)
+            self._send(lc, home, now + 1, self._remote_request, pkt, home)
+            if self._timeout is not None:
+                self.queue.schedule(
+                    now + 1 + self._timeout_for(pkt.attempt),
+                    self._check_timeout,
+                    pkt,
+                    lc,
+                    pkt.attempt,
+                )
+
+    def _timeout_for(self, attempt: int) -> int:
+        """Remote-lookup timeout window for one attempt, with exponential
+        backoff (capped at 8x): a timeout against a *live* but congested
+        home means the budget was too tight — retrying on the same clock
+        only amplifies the congestion that caused it."""
+        assert self._timeout is not None
+        return self._timeout << min(attempt, 3)
 
     def _fe_request(
-        self, pkt: _Packet, lc: int, now: int, origin: Optional[int]
+        self,
+        pkt: _Packet,
+        lc: int,
+        now: int,
+        origin: Optional[int],
+        home_entry=None,
     ) -> None:
         """Queue a longest-prefix-matching lookup on LC ``lc``'s FE.
 
         ``origin`` is None for a packet physically at ``lc``; otherwise the
         arrival LC awaiting a reply (used only when the home cache bypassed
-        allocation and no entry tracks the waiters).
+        allocation and no entry tracks the waiters).  ``home_entry`` is the
+        reservation this FE run will fill at the home LC (remote flow) —
+        passed explicitly so a failover retry issuing a second FE run for
+        the same packet can never hijack another run's fill target.
         """
         start, done = self.fes[lc].acquire(now + 1, self.config.fe_lookup_cycles)
         self.fe_lookups[lc] += 1
         backlog = (start - (now + 1)) // self.config.fe_lookup_cycles
         if backlog > self.max_fe_backlog[lc]:
             self.max_fe_backlog[lc] = backlog
-        self.queue.schedule(done, self._fe_done, pkt, lc, origin)
+        self.queue.schedule(done, self._fe_done, pkt, lc, origin, home_entry)
 
-    def _fe_done(self, pkt: _Packet, lc: int, origin: Optional[int]) -> None:
+    def _fe_done(
+        self, pkt: _Packet, lc: int, origin: Optional[int], home_entry=None
+    ) -> None:
         now = self.queue.now
+        if self._failed[lc]:
+            # Fail-stop: a result computed by a dying card never leaves it.
+            # A packet physically at the card is lost with it; remote
+            # requesters recover via their timeout.
+            if origin is None and pkt.arrival_lc == lc:
+                self._drop(pkt, "crash")
+            return
         hop = pkt.hop
         if hop is None:
             hop = self._matchers[lc].lookup(pkt.dest)
@@ -290,40 +394,41 @@ class SpalSimulator:
                         f"lookup({pkt.dest:#x}) = {hop}, "
                         f"whole table says {expected}"
                     )
-        entry = pkt.entry if origin is None else None
-        # For remote-request flows the home-side entry rides on the packet's
-        # home_entry attribute set in _remote_request; see below.
-        home_entry = pkt._home_entry
-        target = home_entry if home_entry is not None else entry
-        if target is not None:
-            waiters = self.caches[lc].fill(target, hop)  # type: ignore[union-attr]
-            if home_entry is not None:
-                pkt._home_entry = None
+        # Under failover, home_entry may be a stale reservation swept from
+        # this card's failure window (empty waiting list) — filling it is
+        # then a harmless no-op — so the home-side and arrival-side fills
+        # are handled independently.
+        if home_entry is not None:
+            waiters = self.caches[lc].fill(home_entry, hop)  # type: ignore[union-attr]
             self._release(waiters, lc, hop, now)
         if origin is not None:
             # Bypassed allocation at the home LC: reply directly.
-            arrive = self._transfer(lc, origin, now + 1)
-            self.queue.schedule(arrive, self._reply, pkt, hop)
-        elif target is None or target is entry:
-            # The packet that triggered this FE lookup is local to lc.
-            if pkt.arrival_lc == lc:
-                self._complete(pkt, now + 1)
-            else:
-                arrive = self._transfer(lc, pkt.arrival_lc, now + 1)
-                self.queue.schedule(arrive, self._reply, pkt, hop)
+            self._send(lc, origin, now + 1, self._reply, pkt, hop)
+        elif pkt.arrival_lc == lc:
+            # The packet that triggered this FE lookup is local to lc:
+            # fill its own reservation (distinct from home_entry on a
+            # failover retry that fell back to the local FE) and finish.
+            entry = pkt.entry
+            if entry is not None and entry is not home_entry and entry.waiting:
+                waiters = self.caches[lc].fill(entry, hop)  # type: ignore[union-attr]
+                self._release(waiters, lc, hop, now)
+            self._complete(pkt, now + 1)
 
     def _release(self, waiters: list, lc: int, hop: int, now: int) -> None:
         """Serve everything parked on a just-filled entry at LC ``lc``."""
         for waiter in waiters:
             if isinstance(waiter, _RemoteWaiter):
                 wpkt = waiter.packet
-                arrive = self._transfer(lc, wpkt.arrival_lc, now + 1)
-                self.queue.schedule(arrive, self._reply, wpkt, hop)
+                self._send(lc, wpkt.arrival_lc, now + 1, self._reply, wpkt, hop)
             else:
                 self._complete(waiter, now + 1)
 
     def _remote_request(self, pkt: _Packet, home: int) -> None:
         """A request arrives at its home LC over the fabric."""
+        if self._failed[home]:
+            # Dead forwarding engine: the request is never answered; the
+            # origin's timeout fires and fails over to a live replica.
+            return
         now = self.queue.now
         cache = self.caches[home]
         if cache is None:
@@ -348,6 +453,10 @@ class SpalSimulator:
         self._remote_probe_at(pkt, home, start)
 
     def _remote_probe_at(self, pkt: _Packet, home: int, now: int) -> None:
+        if self._failed[home]:
+            # The home died between message delivery and its port slot;
+            # the request dies with it and the origin times out.
+            return
         cache = self.caches[home]
         assert cache is not None
         entry = cache.probe(pkt.dest)
@@ -355,8 +464,10 @@ class SpalSimulator:
             if entry.waiting:
                 entry.waiters.append(_RemoteWaiter(pkt))
             else:
-                arrive = self._transfer(home, pkt.arrival_lc, now + 1)
-                self.queue.schedule(arrive, self._reply, pkt, entry.next_hop)
+                self._send(
+                    home, pkt.arrival_lc, now + 1, self._reply, pkt,
+                    entry.next_hop,
+                )
             return
         # Miss at the home LC: reserve a LOC entry, park the remote waiter
         # on it, and run the FE.
@@ -365,13 +476,16 @@ class SpalSimulator:
             self._fe_request(pkt, home, now, origin=pkt.arrival_lc)
             return
         home_entry.waiters.append(_RemoteWaiter(pkt))
-        pkt._home_entry = home_entry  # type: ignore[attr-defined]
-        self._fe_request(pkt, home, now, origin=None)
+        self._fe_request(pkt, home, now, origin=None, home_entry=home_entry)
 
     def _reply(self, pkt: _Packet, hop: int) -> None:
         """A lookup result returns to the arrival LC."""
         now = self.queue.now
         lc = pkt.arrival_lc
+        if self._failed[lc]:
+            # The packet's own card died while its reply was in flight.
+            self._drop(pkt, "crash")
+            return
         cache = self.caches[lc]
         entry = pkt.entry
         if cache is not None and self.config.cache_remote_results:
@@ -384,10 +498,166 @@ class SpalSimulator:
             self._complete(pkt, now + 1)
 
     def _complete(self, pkt: _Packet, when: int) -> None:
-        if pkt.complete_time >= 0:
+        if pkt.complete_time >= 0 or pkt.dropped is not None:
+            return
+        if self._failed[pkt.arrival_lc]:
+            # The card this packet physically sits in died while its lookup
+            # was in flight: the packet is lost with it.
+            self._drop(pkt, "crash")
             return
         pkt.complete_time = when
         self.completed.append(pkt)
+
+    # -- faults, timeouts and failover --------------------------------------
+
+    def _drop(self, pkt: _Packet, reason: str) -> None:
+        """Account one packet as dropped (``ingress``/``crash``/
+        ``unreachable``) — graceful degradation, never an exception.
+
+        An abandoned arrival-side waiting entry is discarded so later
+        packets stop parking on a result that will never arrive; anything
+        already parked on it shares the same fate (same destination, same
+        dead home).
+        """
+        if pkt.complete_time >= 0 or pkt.dropped is not None:
+            return
+        pkt.dropped = reason
+        self.drops[reason] += 1
+        self.dropped_packets.append(pkt)
+        entry = pkt.entry
+        if entry is not None and entry.waiting:
+            cache = self.caches[pkt.arrival_lc]
+            if cache is not None:
+                cache.discard_entry(entry)
+            waiters, entry.waiters = entry.waiters, []
+            for waiter in waiters:
+                if isinstance(waiter, _RemoteWaiter):
+                    self._drop(waiter.packet, reason)
+                else:
+                    self._drop(waiter, reason)
+
+    def _check_timeout(self, pkt: _Packet, lc: int, attempt: int) -> None:
+        """The remote-lookup timeout for attempt ``attempt`` expired.
+
+        No-op if the packet already completed, dropped, or moved on to a
+        later attempt; otherwise fail over to the next live replica, or
+        drop the packet once the retry budget is spent.
+        """
+        if (
+            pkt.complete_time >= 0
+            or pkt.dropped is not None
+            or pkt.attempt != attempt
+        ):
+            return
+        if self._failed[lc]:
+            # The requesting card itself died while waiting: the packet is
+            # lost with it — a dead card issues no retries.
+            self._drop(pkt, "crash")
+            return
+        pkt.attempt += 1
+        if pkt.attempt > self.config.rem_max_retries:
+            self._exhausted(pkt, lc)
+            return
+        self.retries += 1
+        now = self.queue.now
+        live = (
+            self.plan.live_replicas(pkt.dest)
+            if self.plan is not None
+            else [lc]
+        )
+        if not live:
+            self._exhausted(pkt, lc)
+            return
+        # Walk the live-replica list across attempts: the base choice is
+        # live[dest % len], so offsetting by the attempt count retries a
+        # *different* replica whenever one exists (a timeout against a
+        # still-live home means congestion or message loss — spreading the
+        # retry is both the realistic and the fast recovery).
+        home = live[(pkt.dest + pkt.attempt) % len(live)]
+        if home == lc:
+            self._fe_request(pkt, lc, now, origin=None)
+            return
+        self._send(lc, home, now + 1, self._remote_request, pkt, home)
+        self.queue.schedule(
+            now + 1 + self._timeout_for(pkt.attempt),
+            self._check_timeout,
+            pkt,
+            lc,
+            pkt.attempt,
+        )
+
+    def _exhausted(self, pkt: _Packet, lc: int) -> None:
+        """Retry budget spent: drop the packet, or raise under the
+        ``on_unreachable="raise"`` debugging policy."""
+        if self.config.on_unreachable == "raise":
+            live = (
+                self.plan.live_replicas(pkt.dest)
+                if self.plan is not None
+                else []
+            )
+            if live:
+                raise LookupTimeoutError(
+                    f"lookup({pkt.dest:#x}) from LC {lc} timed out "
+                    f"{pkt.attempt} times with live replicas {live}"
+                )
+            raise UnreachablePatternError(
+                f"lookup({pkt.dest:#x}) from LC {lc}: every replica of its "
+                f"pattern has failed"
+            )
+        self._drop(pkt, "unreachable")
+
+    def _homed_at(self, address: int, lc: int) -> bool:
+        """Whether ``address`` is currently homed at LC ``lc`` (stale-REM
+        test; a fully-dead pattern counts as stale)."""
+        assert self.plan is not None
+        try:
+            return self.plan.home_lc(address) == lc
+        except UnreachablePatternError:
+            return True
+
+    def _apply_lc_fault(self, kind: str, lc: int) -> None:
+        """Scripted LC failure/recovery from the FaultSchedule."""
+        now = self.queue.now
+        self.fault_event_count += 1
+        if kind == "fail":
+            if self._failed[lc]:
+                return
+            if self.partitioned and self.plan is not None:
+                # Stale-entry correctness: REM results other LCs fetched
+                # from the dying card are untrustworthy from here on (it
+                # may miss updates while down).  Evaluated with the
+                # pre-failure replica choice, before the plan mutates.
+                for i, cache in enumerate(self.caches):
+                    if i != lc and cache is not None and not self._failed[i]:
+                        cache.invalidate_remote(
+                            lambda addr: self._homed_at(addr, lc)
+                        )
+                self.plan.fail_lc(lc)
+            self._failed[lc] = True
+            self._fail_at[lc] = now
+            cache = self.caches[lc]
+            if cache is not None:
+                # Sweep the dying card's in-flight reservations: it will
+                # never fill them.  Local packets parked on them are lost
+                # with the card; remote requesters recover via timeout.
+                for entry in cache.take_waiting_entries():
+                    waiters, entry.waiters = entry.waiters, []
+                    for waiter in waiters:
+                        if isinstance(waiter, _RemoteWaiter):
+                            continue
+                        self._drop(waiter, "crash")
+        else:
+            if not self._failed[lc]:
+                return
+            if self.partitioned and self.plan is not None:
+                self.plan.restore_lc(lc)
+            cache = self.caches[lc]
+            if cache is not None:
+                # Cold restart: whatever the card cached before dying is
+                # stale by definition.
+                cache.flush()
+            self._failed[lc] = False
+            self._down_cycles[lc] += now - self._fail_at[lc]
 
     def _flush_all(self) -> None:
         for cache in self.caches:
@@ -472,6 +742,7 @@ class SpalSimulator:
         update_events: Optional[Sequence[tuple]] = None,
         warmup_packets: int = 0,
         name: str = "spal",
+        faults: Optional[FaultSchedule] = None,
     ) -> SimulationResult:
         """Run the router over per-LC destination streams.
 
@@ -488,6 +759,13 @@ class SpalSimulator:
         latency statistics (they are still simulated): the simulator starts
         from stone-cold caches, which real traces never exhibit — their
         opening packets already carry the trace's temporal locality.
+
+        ``faults`` scripts LC failures/recoveries and fabric degradation
+        windows (see :class:`~repro.core.faults.FaultSchedule` and the
+        module docstring for the fail-stop semantics).  A fault event at
+        cycle T is applied before T's packet arrivals.  An empty (or
+        absent) schedule leaves the run bit-identical to the fault-free
+        simulator.
         """
         if getattr(self, "_ran", False):
             raise SimulationError(
@@ -507,6 +785,25 @@ class SpalSimulator:
                 raise SimulationError(
                     f"need {self.config.n_lcs} per-LC speeds, got {len(speeds)}"
                 )
+        if faults is not None and not faults.empty:
+            faults.validate(self.config.n_lcs)
+            self._faults = faults
+            if faults.has_lc_events and self.partitioned and self.plan is not None:
+                # The plan mutates during the run (fail_lc/restore_lc), so
+                # work on a private copy: injected/memoized plans are shared
+                # across simulators and must come back untouched.
+                self.plan = self.plan.copy_for_faults()
+                self._home = self.plan.home_lc
+            if self._timeout is None and (faults.has_lc_events or faults.has_drops):
+                self._timeout = self.config.default_rem_timeout()
+            self._fault_rng = np.random.default_rng(faults.seed)
+            for d in faults.degradations:
+                self.fabric.degrade(d.start, d.end, d.extra_latency)
+            # Scheduled before any packet: at equal cycles the stable heap
+            # order makes the fault apply ahead of that cycle's arrivals.
+            for cycle, kind, lc in faults.lc_events():
+                self.queue.schedule(cycle, self._apply_lc_fault, kind, lc)
+        self._plan_epoch = self.plan.epoch if self.plan is not None else 0
         precomputed = self._precompute_streams(streams)
         total = 0
         for lc, stream in enumerate(streams):
@@ -529,9 +826,12 @@ class SpalSimulator:
             for t, prefix in update_events:
                 self.queue.schedule(int(t), self._invalidate_prefix, prefix)
         horizon = self.queue.run()
-        if len(self.completed) != total:
+        # Conservation: every offered packet either completed its lookup or
+        # is accounted as a drop — anything else is a simulator bug.
+        if len(self.completed) + len(self.dropped_packets) != total:
             raise SimulationError(
-                f"{total - len(self.completed)} packets never completed"
+                f"{total - len(self.completed) - len(self.dropped_packets)} "
+                f"packets neither completed nor dropped"
             )
         latencies = np.array(
             [
@@ -541,7 +841,7 @@ class SpalSimulator:
             ],
             dtype=np.int64,
         )
-        if len(latencies) == 0:
+        if len(latencies) == 0 and not self.dropped_packets:
             raise SimulationError("warmup_packets left no measured packets")
         cache_stats = []
         for cache in self.caches:
@@ -561,7 +861,7 @@ class SpalSimulator:
                         "hit_rate": s.hit_rate,
                     }
                 )
-        return SimulationResult(
+        result = SimulationResult(
             name=name,
             n_lcs=self.config.n_lcs,
             latencies=latencies,
@@ -575,3 +875,29 @@ class SpalSimulator:
             flushes=self.flushes,
             extra={"max_fe_backlog": list(self.max_fe_backlog)},
         )
+        if self._faults is not None or self._timeout is not None:
+            # Degraded-mode metrics, populated only when the fault
+            # machinery was armed: fault-free runs keep the dataclass
+            # defaults and stay bit-identical to the pre-fault simulator.
+            result.drops = dict(self.drops)
+            result.retries = self.retries
+            result.fabric_dropped_messages = self.fabric_dropped_messages
+            result.fault_events = self.fault_event_count
+            down = list(self._down_cycles)
+            for lc in range(self.config.n_lcs):
+                if self._failed[lc]:
+                    down[lc] += horizon - self._fail_at[lc]
+            result.lc_availability = [
+                1.0 - (d / horizon if horizon > 0 else 0.0) for d in down
+            ]
+            failover = [
+                p.complete_time - p.arrival_time
+                for p in self.completed
+                if p.measured and p.attempt > 0
+            ]
+            result.failover_packets = len(failover)
+            if failover:
+                result.failover_mean_cycles = float(
+                    sum(failover) / len(failover)
+                )
+        return result

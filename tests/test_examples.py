@@ -62,3 +62,5 @@ def test_failover_demo():
     out = run_example("failover_demo.py")
     assert "lookup errors during failover: 0" in out
     assert "lose service" in out
+    assert "0 unreachable" in out
+    assert "conservation:" in out
