@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.traffic",
     "repro.sim",
+    "repro.obs",
     "repro.analysis",
     "repro.experiments",
 ]
@@ -131,12 +132,46 @@ conservation invariant at the end of each run.  Experiment `failover`
 """
 
 
+OBS_SECTION = """
+## Observability
+
+`repro.obs` adds zero-overhead-when-off instrumentation in four pieces
+(full walkthrough in `docs/OBSERVABILITY.md`):
+
+- **Metrics registry** — `MetricsRegistry` holds counters, gauges and
+  fixed-bucket histograms named like `cache.lr.evictions{kind=REM,lc=3}`.
+  Instruments are pre-bound at `SpalSimulator` / `SpalRouter` / `LRCache`
+  construction, so hot paths do a plain `counter.value += 1`; everything
+  else is published at snapshot time.  Every `SpalSimulator.run` stores
+  `registry.snapshot()` into `SimulationResult.metrics_snapshot`
+  (`result.top_metrics(5)` for the hottest entries); `SpalRouter.
+  metrics_snapshot()` does the same for the step-by-step model.
+- **Packet tracer** — pass `trace=Tracer()` to `SpalSimulator` to record
+  cycle-stamped lifecycle events (ingress -> cache probe -> fabric -> FE ->
+  completion/drop).  A disabled or absent tracer is normalized to `None`
+  at construction, so the off-path is one truthiness check per site;
+  `benchmarks/test_bench_obs.py` asserts <3% disabled overhead, and a
+  property test pins traced == untraced bit-identity.
+- **Timeline export** — `export_jsonl` dumps the raw event stream;
+  `export_chrome_trace` writes Chrome `trace_event` JSON loadable in
+  Perfetto, one track per line card and one per used fabric link, with a
+  `pkt <pid>` span covering each packet's ingress->completion window
+  (`validate_chrome_trace` is the CI schema check).
+- **Kernel profiling** — `profile_matcher(matcher, addrs)` (or
+  `measure(addrs, profiler=KernelProfile(...))`) splits compile vs
+  traverse wall time and counts per-level node touches from the batch
+  kernels.  `scripts/obs_report.py` prints all of the above for a small
+  run; wall-clock phase timings live on `SpalSimulator.phase_seconds`.
+"""
+
+
 def main() -> None:
     out: list[str] = [
         "# API reference\n",
         "_Generated by `scripts/gen_api_docs.py`; do not edit by hand._\n",
         BATCH_SECTION,
         FAULT_SECTION,
+        OBS_SECTION,
     ]
     for pkg_name in SUBPACKAGES:
         pkg = importlib.import_module(pkg_name)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""One-stop observability report for a small traced simulation.
+
+Runs a traced ψ=4 run over synthetic locality traffic and prints the
+hottest metrics from the run's snapshot, the wall-clock phase breakdown,
+the drop/retry accounting, and a per-kernel profile table
+(compile-vs-traverse split and per-level node-touch counts via
+:func:`repro.obs.profile_matcher`).  Optionally exports the packet
+timeline:
+
+    python scripts/obs_report.py [--packets N] [--lcs PSI]
+                                 [--trace out.json] [--jsonl out.jsonl]
+
+``--trace`` writes Chrome trace_event JSON (open in https://ui.perfetto.dev
+or chrome://tracing); ``--jsonl`` writes the raw event stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import CacheConfig, SpalConfig
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    profile_matcher,
+)
+from repro.routing import make_rt1
+from repro.sim import SpalSimulator
+from repro.traffic import FlowPopulation, generate_router_streams, trace_spec
+from repro.tries import BinaryTrie, LCTrie, LuleaTrie, MultibitTrie
+
+KERNELS = (BinaryTrie, LCTrie, LuleaTrie, MultibitTrie)
+
+
+def kernel_table(table, registry: MetricsRegistry) -> None:
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 1 << 32, size=50_000, dtype=np.uint64)
+    print("kernel profiles (50k random addresses):")
+    print(f"  {'kernel':9s} {'mean':>6s} {'max':>4s} {'compile':>9s} "
+          f"{'traverse':>9s}  touches by level")
+    for factory in KERNELS:
+        matcher = factory(table)
+        (mean, worst), profile = profile_matcher(
+            matcher, addrs, registry=registry
+        )
+        touches = profile.touches_by_level()
+        shown = ",".join(str(t) for t in touches[:8])
+        if len(touches) > 8:
+            shown += ",..."
+        print(f"  {profile.name:9s} {mean:6.2f} {worst:4d} "
+              f"{profile.compile_seconds * 1e3:7.1f}ms "
+              f"{profile.traverse_seconds * 1e3:7.1f}ms  [{shown}]")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--packets", type=int, default=4000,
+                        help="packets per line card (default 4000)")
+    parser.add_argument("--lcs", type=int, default=4,
+                        help="line cards / psi (default 4)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write Chrome trace_event JSON here")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="write the raw JSONL event stream here")
+    args = parser.parse_args()
+
+    registry = MetricsRegistry()
+    table = make_rt1()
+    # Kernel profiles go to their own registry so the simulation's
+    # top-metrics list below isn't drowned in per-level gauges.
+    kernel_table(table, MetricsRegistry())
+
+    spec = trace_spec("L_92-0").scaled(4 * args.packets)
+    population = FlowPopulation(spec, table)
+    streams = generate_router_streams(population, args.lcs, args.packets)
+    trace = Tracer()
+    sim = SpalSimulator(
+        table,
+        SpalConfig(n_lcs=args.lcs, cache=CacheConfig(n_blocks=256)),
+        registry=registry,
+        trace=trace,
+    )
+    result = sim.run(streams, name="obs_report")
+
+    print(f"simulated {result.packets} packets over "
+          f"{result.horizon_cycles} cycles "
+          f"(mean {result.mean_lookup_cycles:.2f} cycles, "
+          f"hit rate {result.overall_hit_rate:.3f}, "
+          f"{len(trace)} trace events)")
+    print("phase breakdown: " + "  ".join(
+        f"{phase} {seconds * 1e3:.1f}ms"
+        for phase, seconds in sim.phase_seconds.items()
+    ))
+    snapshot = result.metrics_snapshot
+    dropped = snapshot.get("sim.packets{outcome=dropped}", 0)
+    if dropped:
+        print(f"dropped {dropped} packets; "
+              f"retries {snapshot.get('sim.retries', 0)}")
+    print("top metrics:")
+    for metric, heat in result.top_metrics(8):
+        print(f"  {metric:44s} {heat:12.0f}")
+
+    if args.jsonl:
+        n = export_jsonl(trace, args.jsonl)
+        print(f"wrote {n} events to {args.jsonl}")
+    if args.trace:
+        doc = export_chrome_trace(trace, args.trace, name="obs_report")
+        print(f"wrote {len(doc['traceEvents'])} trace events to "
+              f"{args.trace} (open in ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

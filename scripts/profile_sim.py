@@ -3,9 +3,15 @@
 optimizing).
 
 Runs a standard ψ=8 configuration under cProfile and prints the top
-functions by cumulative time, the simulated-packet (event) rate, and a
-batch-vs-scalar lookup throughput comparison for every vectorized kernel
-(REPRO_BATCH=0 disables the batch paths; see docs/TUTORIAL.md).
+functions by cumulative time, the per-phase wall-clock breakdown
+(precompute / schedule / run / collect, from ``SpalSimulator.
+phase_seconds``), the simulated-packet (event) rate, and a batch-vs-scalar
+lookup throughput comparison for every vectorized kernel.  Kernel timing is
+collected through :class:`repro.obs.KernelProfile` — the same hooks
+``measure()`` uses — and published into one metrics registry, so the
+numbers printed here and the ones in ``result.metrics_snapshot`` come from
+a single computation (REPRO_BATCH=0 disables the batch paths; see
+docs/TUTORIAL.md).
 
     python scripts/profile_sim.py [packets_per_lc]
 """
@@ -21,6 +27,7 @@ import numpy as np
 
 from repro.batching import batch_enabled
 from repro.core import CacheConfig, SpalConfig
+from repro.obs import KernelProfile, MetricsRegistry
 from repro.routing import make_rt2
 from repro.sim import SpalSimulator
 from repro.traffic import FlowPopulation, generate_router_streams, trace_spec
@@ -41,8 +48,12 @@ KERNELS = {
 }
 
 
-def lookup_throughput(table, n_addrs: int = 200_000) -> None:
-    """Batch vs scalar lookup throughput (Maddrs/s) for each kernel."""
+def lookup_throughput(
+    table, registry: MetricsRegistry, n_addrs: int = 200_000
+) -> None:
+    """Batch vs scalar lookup throughput (Maddrs/s) for each kernel,
+    measured through the KernelProfile hooks and published to ``registry``
+    (``trie.kernel.*{kernel=...}``)."""
     rng = np.random.default_rng(0)
     addrs = rng.integers(0, 1 << 32, size=n_addrs, dtype=np.uint64)
     scalar_sample = addrs[: max(1, n_addrs // 10)]
@@ -50,31 +61,47 @@ def lookup_throughput(table, n_addrs: int = 200_000) -> None:
           f"(batch {'enabled' if batch_enabled() else 'DISABLED'}):")
     for name, factory in KERNELS.items():
         matcher = factory(table)
-        matcher.lookup_batch(addrs[:1])  # compile outside the timed region
-        start = time.perf_counter()
+        profile = KernelProfile(name)
+        matcher.profiler = profile
+        matcher.lookup_batch(addrs[:1])  # compile outside the big batch
         matcher.lookup_batch(addrs)
-        batch_s = time.perf_counter() - start
         lookup = matcher.lookup
         start = time.perf_counter()
         for a in scalar_sample:
             lookup(int(a))
-        scalar_s = (time.perf_counter() - start) * (n_addrs / len(scalar_sample))
-        print(f"  {name:9s} batch {n_addrs / batch_s / 1e6:7.1f} Maddrs/s   "
-              f"scalar {n_addrs / scalar_s / 1e6:7.2f} Maddrs/s   "
-              f"({scalar_s / batch_s:5.1f}x)")
+        profile.record_scalar(len(scalar_sample), time.perf_counter() - start)
+        matcher.profiler = None
+        profile.observe_into(registry)
+        scalar_rate = (
+            profile.scalar_lookups / profile.scalar_seconds / 1e6
+            if profile.scalar_seconds
+            else 0.0
+        )
+        if profile.traverse_seconds:
+            batch_rate = profile.batch_lookups / profile.traverse_seconds / 1e6
+            ratio = batch_rate / scalar_rate if scalar_rate else float("inf")
+            print(f"  {name:9s} batch {batch_rate:7.1f} Maddrs/s   "
+                  f"scalar {scalar_rate:7.2f} Maddrs/s   ({ratio:5.1f}x)   "
+                  f"compile {profile.compile_seconds * 1e3:6.1f}ms")
+        else:
+            print(f"  {name:9s} batch       - (scalar fallback)   "
+                  f"scalar {scalar_rate:7.2f} Maddrs/s")
     print()
 
 
 def main() -> None:
     packets = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
     n_lcs = 8
+    registry = MetricsRegistry()
     table = make_rt2(size=20_000)
-    lookup_throughput(table)
+    lookup_throughput(table, registry)
     spec = trace_spec("L_92-0").scaled(16 * packets)
     population = FlowPopulation(spec, table)
     streams = generate_router_streams(population, n_lcs, packets)
     sim = SpalSimulator(
-        table, SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=1024))
+        table,
+        SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=1024)),
+        registry=registry,
     )
 
     profiler = cProfile.Profile()
@@ -84,10 +111,22 @@ def main() -> None:
     profiler.disable()
     elapsed = time.perf_counter() - start
 
+    # Throughput from the run's own metrics snapshot — one source of truth
+    # shared with every other consumer of result.metrics_snapshot.
+    snapshot = result.metrics_snapshot
+    completed = int(snapshot["sim.packets{outcome=completed}"])
     events = sim.queue.processed
-    print(f"{result.packets} packets in {elapsed:.2f}s "
-          f"({result.packets / elapsed / 1000:.0f}k simulated packets/s, "
-          f"{events / elapsed / 1000:.0f}k events/s)\n")
+    print(f"{completed} packets in {elapsed:.2f}s "
+          f"({completed / elapsed / 1000:.0f}k simulated packets/s, "
+          f"{events / elapsed / 1000:.0f}k events/s)")
+    print("phase breakdown: " + "  ".join(
+        f"{phase} {seconds * 1e3:.1f}ms"
+        for phase, seconds in sim.phase_seconds.items()
+    ))
+    print("top metrics:")
+    for metric, heat in result.top_metrics(5):
+        print(f"  {metric:40s} {heat:12.0f}")
+    print()
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative").print_stats(18)
 

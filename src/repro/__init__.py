@@ -10,6 +10,8 @@ Public API tour
   LR-cache, fabric models, and the router facade.
 * :mod:`repro.traffic` — locality-controlled synthetic packet traces.
 * :mod:`repro.sim` — the trace-driven cycle simulator and baselines.
+* :mod:`repro.obs` — metrics registry, packet-lifecycle tracing and
+  cycle-timeline export (zero overhead when off).
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 
@@ -23,6 +25,7 @@ __all__ = [
     "core",
     "traffic",
     "sim",
+    "obs",
     "analysis",
     "experiments",
     "__version__",
@@ -31,7 +34,7 @@ __all__ = [
 
 def __getattr__(name):
     # Lazy subpackage imports keep `import repro` light.
-    if name in {"core", "traffic", "sim", "analysis", "experiments"}:
+    if name in {"core", "traffic", "sim", "obs", "analysis", "experiments"}:
         import importlib
 
         module = importlib.import_module(f".{name}", __name__)

@@ -50,26 +50,46 @@ def fe_load_imbalance(result: SimulationResult) -> float:
 
 def drop_rate(result: SimulationResult) -> float:
     """Fraction of offered packets lost across all drop reasons (0.0 on
-    fault-free runs)."""
-    return 1.0 - result.delivery_rate if result.total_drops else 0.0
+    fault-free runs).
+
+    Tolerates results produced before the fault-injection layer existed
+    (e.g. unpickled from an old sweep): a result without degraded-mode
+    fields dropped nothing, so the rate is 0.0.
+    """
+    drops = getattr(result, "drops", None)
+    if not drops or not sum(drops.values()):
+        return 0.0
+    total = sum(drops.values())
+    offered = result.packets + total
+    return total / offered if offered else 0.0
 
 
 def degraded_mode_summary(result: SimulationResult) -> Dict[str, object]:
     """One row of failover/degradation metrics for a fault-injection run:
     per-reason drops, retry volume, the failover transient (packets that
     needed >= 1 retry and their mean latency), and the worst per-LC
-    availability over the horizon."""
+    availability over the horizon.
+
+    Pre-fault-layer results (missing the degraded-mode fields entirely)
+    yield the all-zeros fault-free row rather than raising.
+    """
+    drops = getattr(result, "drops", None) or {}
+    total = sum(drops.values())
+    offered = result.packets + total
+    availability = getattr(result, "lc_availability", None) or []
     return {
-        "ingress_drops": result.drops.get("ingress", 0),
-        "crash_drops": result.drops.get("crash", 0),
-        "unreachable_drops": result.drops.get("unreachable", 0),
-        "delivery_rate": round(result.delivery_rate, 6),
-        "retries": result.retries,
-        "fabric_lost": result.fabric_dropped_messages,
-        "failover_packets": result.failover_packets,
-        "failover_mean_cycles": round(result.failover_mean_cycles, 2),
-        "min_availability": round(min(result.lc_availability), 4)
-        if result.lc_availability
+        "ingress_drops": drops.get("ingress", 0),
+        "crash_drops": drops.get("crash", 0),
+        "unreachable_drops": drops.get("unreachable", 0),
+        "delivery_rate": round(result.packets / offered, 6) if offered else 0.0,
+        "retries": getattr(result, "retries", 0),
+        "fabric_lost": getattr(result, "fabric_dropped_messages", 0),
+        "failover_packets": getattr(result, "failover_packets", 0),
+        "failover_mean_cycles": round(
+            getattr(result, "failover_mean_cycles", 0.0), 2
+        ),
+        "min_availability": round(min(availability), 4)
+        if availability
         else 1.0,
     }
 

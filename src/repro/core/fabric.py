@@ -84,6 +84,24 @@ class Fabric(ABC):
         self.messages = 0
         self._degradations = []
 
+    def observe_into(self, registry, **labels: object) -> None:
+        """Publish fabric aggregates to a :class:`repro.obs.MetricsRegistry`
+        at snapshot time.  The transfer hot path stays untouched — it keeps
+        counting into the plain :attr:`messages` int, and this method copies
+        the total into ``fabric.msgs{kind=sent}`` when a snapshot is taken
+        (dropped messages are counted by the simulator, which owns the
+        fault RNG).
+        """
+        registry.counter(
+            "fabric.msgs", kind="sent", **labels
+        ).value = self.messages
+        registry.gauge("fabric.latency_cycles", **labels).set(
+            self.latency_cycles()
+        )
+        registry.gauge("fabric.degradation_windows", **labels).set(
+            len(self._degradations)
+        )
+
 
 class IdealFabric(Fabric):
     """Zero-latency, contention-free interconnect (upper-bound ablation)."""

@@ -105,6 +105,25 @@ class LineCard:
         if self.cache is not None:
             self.cache.insert_complete(address, next_hop, REM)
 
+    def bind_obs(self, registry) -> None:
+        """Pre-bind this LC's instruments (cache eviction counters now,
+        aggregate stats at :meth:`observe_into` time) under an ``lc``
+        label carrying this card's index."""
+        self._obs_registry = registry
+        if self.cache is not None:
+            self.cache.bind_obs(registry, lc=self.index)
+
+    def observe_into(self) -> None:
+        """Publish FE and cache aggregates to the registry bound by
+        :meth:`bind_obs` (no-op when unbound)."""
+        registry = getattr(self, "_obs_registry", None)
+        if registry is None:
+            return
+        registry.counter("fe.lookups", lc=self.index).value = self.fe.stats.lookups
+        registry.gauge("lc.alive", lc=self.index).set(1.0 if self.alive else 0.0)
+        if self.cache is not None:
+            self.cache.observe_into()
+
     def fail(self) -> None:
         """Fail-stop this LC: it answers no lookups until :meth:`recover`."""
         self.alive = False

@@ -150,6 +150,13 @@ class LRCache:
         )
         self.stats = CacheStats()
         self._stamp = 0
+        # -- observability (inert until bind_obs) ------------------------
+        #: (LOC counter, REM counter) pair pre-bound by :meth:`bind_obs`;
+        #: the eviction hot path does a plain ``.value += 1`` behind one
+        #: truthiness check.
+        self._obs_evictions = None
+        self._obs_registry = None
+        self._obs_labels: Dict[str, object] = {}
 
     # -- indexing -----------------------------------------------------------
 
@@ -353,6 +360,9 @@ class LRCache:
             return False
         del target_set[victim_entry.address]
         self.stats.evictions += 1
+        obs = self._obs_evictions
+        if obs is not None:
+            obs[victim_entry.mix].value += 1
         if self.victim is not None and not victim_entry.waiting:
             self.victim.insert(victim_entry)
         target_set[entry.address] = entry
@@ -384,6 +394,47 @@ class LRCache:
         if not candidates:
             return None
         return self._policy.choose(candidates)
+
+    # -- observability -----------------------------------------------------------
+
+    def bind_obs(self, registry, **labels: object) -> None:
+        """Pre-bind this cache's instruments in a
+        :class:`repro.obs.MetricsRegistry` (idiomatically with an ``lc``
+        label).  Binding is done once, here; afterwards the only hot-path
+        cost is a plain attribute increment on the eviction path, and
+        :meth:`observe_into` publishes the cheap aggregate stats at
+        snapshot time.
+        """
+        self._obs_registry = registry
+        self._obs_labels = dict(labels)
+        self._obs_evictions = (
+            registry.counter("cache.lr.evictions", kind="LOC", **labels),
+            registry.counter("cache.lr.evictions", kind="REM", **labels),
+        )
+
+    def observe_into(self) -> None:
+        """Publish end-of-run aggregates to the bound registry (no-op when
+        :meth:`bind_obs` was never called).  Hit/miss counts are read from
+        :attr:`stats` rather than double-counted on the probe hot path."""
+        registry = self._obs_registry
+        if registry is None:
+            return
+        labels = self._obs_labels
+        s = self.stats
+        for metric, value in (
+            ("cache.lr.lookups", s.lookups),
+            ("cache.lr.hits", s.hits),
+            ("cache.lr.waiting_hits", s.waiting_hits),
+            ("cache.lr.victim_hits", s.victim_hits),
+            ("cache.lr.misses", s.misses),
+            ("cache.lr.insertions", s.insertions),
+            ("cache.lr.bypasses", s.bypasses),
+            ("cache.lr.flushes", s.flushes),
+        ):
+            counter = registry.counter(metric, **labels)
+            counter.value = value
+        registry.gauge("cache.lr.hit_rate", **labels).set(s.hit_rate)
+        registry.gauge("cache.lr.occupancy", **labels).set(self.occupancy())
 
     # -- introspection -----------------------------------------------------------
 

@@ -451,6 +451,24 @@ class PartitionPlan:
     def partition_sizes(self) -> List[int]:
         return [len(t) for t in self.tables]
 
+    def observe_into(self, registry) -> None:
+        """Publish the plan's shape to a :class:`repro.obs.MetricsRegistry`:
+        per-LC partition sizes, control-bit count, replication degree, and
+        how many LCs are currently marked failed.  Called at snapshot time
+        (plans have no hot path of their own — ``home_lc_batch`` is already
+        a single vector op)."""
+        for lc, size in enumerate(self.partition_sizes()):
+            registry.gauge("partition.routes", lc=lc).set(size)
+        registry.gauge("partition.control_bits").set(len(self.bits))
+        replicas = (
+            len(self.replicas_of_pattern[0])
+            if self.replicas_of_pattern
+            else 1
+        )
+        registry.gauge("partition.replicas").set(replicas)
+        registry.gauge("partition.failed_lcs").set(len(self.failed_lcs))
+        registry.counter("partition.epoch").value = self.epoch
+
     def replication_factor(self, table: RoutingTable) -> float:
         """Mean number of partitions each original prefix appears in."""
         total = sum(self.partition_sizes())

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..errors import SimulationError, UnreachablePatternError
+from ..obs.registry import MetricsRegistry
 from ..routing.prefix import Prefix
 from ..routing.table import NextHop, RoutingTable
 from ..tries.base import LongestPrefixMatcher
@@ -60,6 +61,12 @@ class SpalRouter:
         Router shape; see :class:`repro.core.config.SpalConfig`.
     matcher_factory:
         Builds the per-LC LPM structure (default: Lulea trie).
+    registry:
+        A :class:`repro.obs.MetricsRegistry` to bind the router's
+        instruments into (a private one is created when omitted).  Line
+        cards pre-bind their cache eviction counters at construction;
+        :meth:`metrics_snapshot` publishes the aggregate counters and
+        returns the registry's snapshot.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class SpalRouter:
         table: RoutingTable,
         config: Optional[SpalConfig] = None,
         matcher_factory: Callable[[RoutingTable], LongestPrefixMatcher] = default_matcher_factory,
+        registry: Optional["MetricsRegistry"] = None,
     ):
         self.config = config or SpalConfig()
         self.config.validate()
@@ -91,6 +99,9 @@ class SpalRouter:
         ]
         self.fabric = self.config.make_fabric()
         self.stats = RouterStats()
+        self.obs = registry if registry is not None else MetricsRegistry()
+        for lc in self.line_cards:
+            lc.bind_obs(self.obs)
 
     # -- lookups ------------------------------------------------------------
 
@@ -227,6 +238,22 @@ class SpalRouter:
             "partition_bits": list(self.plan.bits),
             "partition_sizes": self.partition_sizes(),
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Publish current aggregates to the bound registry and return its
+        snapshot — the functional-API counterpart of
+        :attr:`repro.sim.results.SimulationResult.metrics_snapshot`."""
+        for lc in self.line_cards:
+            lc.observe_into()
+        self.fabric.observe_into(self.obs)
+        self.plan.observe_into(self.obs)
+        obs = self.obs
+        obs.counter("router.lookups").value = self.stats.lookups
+        obs.counter("router.local_home").value = self.stats.local_home
+        obs.counter("router.remote_requests").value = self.stats.remote_requests
+        obs.counter("router.remote_replies").value = self.stats.remote_replies
+        obs.counter("router.updates").value = self.stats.updates
+        return obs.snapshot()
 
     def cache_hit_rates(self) -> List[float]:
         return [

@@ -53,3 +53,9 @@ class FaultScheduleError(SimulationError, ValueError):
 
 class TrieError(ReproError):
     """A trie build or lookup failed."""
+
+
+class ObservabilityError(ReproError, ValueError):
+    """A :mod:`repro.obs` misuse: bad metric name or label, conflicting
+    instrument type for a (name, labels) pair, malformed histogram buckets,
+    or an exported timeline that fails schema validation."""

@@ -1,0 +1,64 @@
+"""repro.obs — zero-overhead-when-off observability for the SPAL stack.
+
+Three cooperating pieces:
+
+* :mod:`repro.obs.registry` — a process-local **metrics registry**
+  (counters, gauges, fixed-bucket histograms) whose instruments are
+  pre-bound at component construction, so hot paths increment a plain
+  attribute and never pay a lookup;
+* :mod:`repro.obs.trace` — a **packet-lifecycle tracer** recording
+  cycle-stamped span events (ingress → probe → fabric → FE → completion
+  or drop) behind a single truthiness check when disabled;
+* :mod:`repro.obs.timeline` — **exporters** for the trace: JSONL and
+  Chrome ``trace_event`` JSON loadable in Perfetto, one track per line
+  card and one per fabric link, plus the schema validator CI runs;
+* :mod:`repro.obs.profile` — **kernel profiling** for the batch-lookup
+  kernels and ``measure()``: compile-vs-traverse time split and per-level
+  node-touch counts.
+
+The contract every consumer relies on: enabling any of this never changes
+simulation outputs (traced and untraced runs produce bit-identical
+:class:`~repro.sim.results.SimulationResult` objects), and with tracing
+disabled the simulator's overhead versus the uninstrumented code is under
+3% (asserted by ``benchmarks/test_bench_obs.py``).  See
+``docs/OBSERVABILITY.md`` for naming conventions and the Perfetto
+walkthrough.
+"""
+
+from .profile import KernelProfile, profile_matcher
+from .registry import (
+    DEFAULT_CYCLE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    render_metric_name,
+)
+from .timeline import (
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+    validate_chrome_trace,
+)
+from .trace import EVENT_NAMES, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "exponential_buckets",
+    "render_metric_name",
+    "DEFAULT_CYCLE_BUCKETS",
+    "Tracer",
+    "EVENT_NAMES",
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_jsonl",
+    "validate_chrome_trace",
+    "KernelProfile",
+    "profile_matcher",
+]

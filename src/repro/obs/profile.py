@@ -1,0 +1,174 @@
+"""Profiling hooks for the batch-lookup kernels and ``measure()``.
+
+The paper's access-count metrics (Sec. 5.1) report *means*; comparing
+lookup structures trustworthily also needs the shape — how many lookups
+reach each trie level, and how much wall time goes to compiling the packed
+kernel arrays versus traversing them.  A :class:`KernelProfile` attached to
+a matcher (``matcher.profiler = profile``, or via :func:`profile_matcher`)
+collects exactly that from :meth:`~repro.tries.base.LongestPrefixMatcher.
+lookup_batch`:
+
+* **compile vs traverse split** — seconds spent in
+  ``_compile_batch_kernel`` versus the vectorized traversal (scalar
+  fallback time is tracked separately);
+* **per-level node-touch counts** — from the kernels' per-lookup access
+  counts: a lookup that performed ``a`` dependent reads touched levels
+  ``1..a``, so level ``k``'s touch count is the number of lookups with
+  ``a >= k``.  This is the CRAM-lens-style per-memory-touch accounting
+  that makes structure comparisons honest about worst cases, not just
+  means.
+
+The hook in ``lookup_batch`` is a single truthiness check when no profile
+is attached, and the profile never mutates matcher state, so profiled and
+unprofiled runs return bit-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .registry import MetricsRegistry
+
+
+class KernelProfile:
+    """Accumulated profile of one matcher's batch/scalar lookups."""
+
+    __slots__ = (
+        "name",
+        "compile_seconds",
+        "traverse_seconds",
+        "scalar_seconds",
+        "batch_lookups",
+        "scalar_lookups",
+        "batch_calls",
+        "compile_calls",
+        "total_accesses",
+        "_touch_counts",
+    )
+
+    def __init__(self, name: str = "?"):
+        self.name = name
+        self.compile_seconds = 0.0
+        self.traverse_seconds = 0.0
+        self.scalar_seconds = 0.0
+        self.batch_lookups = 0
+        self.scalar_lookups = 0
+        self.batch_calls = 0
+        self.compile_calls = 0
+        self.total_accesses = 0
+        #: ``_touch_counts[a]`` = lookups that performed exactly ``a``
+        #: dependent memory reads (grown on demand).
+        self._touch_counts = np.zeros(1, dtype=np.int64)
+
+    # -- recording (called from LongestPrefixMatcher.lookup_batch) ----------
+
+    def record_compile(self, seconds: float) -> None:
+        self.compile_calls += 1
+        self.compile_seconds += seconds
+
+    def record_batch(self, accesses: np.ndarray, seconds: float) -> None:
+        """Fold in one vectorized traversal's per-lookup access counts."""
+        self.batch_calls += 1
+        self.traverse_seconds += seconds
+        self.batch_lookups += len(accesses)
+        self.total_accesses += int(accesses.sum())
+        counts = np.bincount(accesses.astype(np.int64, copy=False))
+        if len(counts) > len(self._touch_counts):
+            grown = np.zeros(len(counts), dtype=np.int64)
+            grown[: len(self._touch_counts)] = self._touch_counts
+            self._touch_counts = grown
+        self._touch_counts[: len(counts)] += counts
+
+    def record_scalar(self, n: int, seconds: float) -> None:
+        self.scalar_lookups += n
+        self.scalar_seconds += seconds
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.batch_lookups + self.scalar_lookups
+
+    @property
+    def mean_accesses(self) -> float:
+        return (
+            self.total_accesses / self.batch_lookups if self.batch_lookups else 0.0
+        )
+
+    def touches_by_level(self) -> List[int]:
+        """``result[k-1]`` = lookups that touched level ``k`` (performed at
+        least ``k`` dependent reads).  A reversed cumulative sum of the
+        exact-access histogram; monotonically non-increasing by
+        construction."""
+        if len(self._touch_counts) <= 1:
+            return []
+        reached = np.cumsum(self._touch_counts[::-1])[::-1]
+        return [int(v) for v in reached[1:]]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "lookups": self.lookups,
+            "batch_lookups": self.batch_lookups,
+            "scalar_lookups": self.scalar_lookups,
+            "mean_accesses": round(self.mean_accesses, 3),
+            "compile_seconds": self.compile_seconds,
+            "traverse_seconds": self.traverse_seconds,
+            "scalar_seconds": self.scalar_seconds,
+            "touches_by_level": self.touches_by_level(),
+        }
+
+    def observe_into(self, registry: MetricsRegistry) -> None:
+        """Publish this profile into a metrics registry (gauges keyed by
+        ``kernel=<name>``; per-level touches as ``level=<k>`` labels)."""
+        k = self.name
+        registry.gauge("trie.kernel.compile_seconds", kernel=k).set(
+            self.compile_seconds
+        )
+        registry.gauge("trie.kernel.traverse_seconds", kernel=k).set(
+            self.traverse_seconds
+        )
+        registry.gauge("trie.kernel.scalar_seconds", kernel=k).set(
+            self.scalar_seconds
+        )
+        registry.gauge("trie.kernel.lookups", kernel=k).set(self.lookups)
+        registry.gauge("trie.kernel.mean_accesses", kernel=k).set(
+            self.mean_accesses
+        )
+        for level, touches in enumerate(self.touches_by_level(), start=1):
+            registry.gauge("trie.kernel.level_touches", kernel=k, level=level).set(
+                touches
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelProfile({self.name}: {self.lookups} lookups, "
+            f"compile {self.compile_seconds * 1e3:.1f}ms, "
+            f"traverse {self.traverse_seconds * 1e3:.1f}ms)"
+        )
+
+
+def profile_matcher(
+    matcher,
+    addresses: Union[np.ndarray, Sequence[int]],
+    registry: Optional[MetricsRegistry] = None,
+) -> Tuple[Tuple[float, int], KernelProfile]:
+    """Run ``matcher.measure(addresses)`` with a profile attached.
+
+    Returns ``((mean_accesses, max_accesses), profile)``; the matcher's
+    profiler attribute is restored afterwards, so profiling one call leaves
+    no lasting hook.  With ``registry`` the profile is also published via
+    :meth:`KernelProfile.observe_into`.
+    """
+    profile = KernelProfile(getattr(matcher, "name", type(matcher).__name__))
+    previous = getattr(matcher, "profiler", None)
+    matcher.profiler = profile
+    try:
+        measured = matcher.measure(addresses)
+    finally:
+        matcher.profiler = previous
+    if registry is not None:
+        profile.observe_into(registry)
+    return measured, profile

@@ -1,0 +1,308 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+The design rule is *zero overhead where it matters*: instruments are
+pre-bound once (at :class:`~repro.sim.spal_sim.SpalSimulator` /
+:class:`~repro.core.lr_cache.LRCache` / fabric construction), so the hot
+path touches a plain Python attribute — ``counter.value += 1`` — with no
+dictionary lookup, no string formatting and no lock.  The registry itself
+is only consulted at bind time and at snapshot time.
+
+Naming follows a dotted lowercase convention with optional ``{k=v}``
+labels, e.g. ``sim.rem.round_trip_cycles``, ``cache.lr.evictions{kind=REM,
+lc=3}``, ``fabric.msgs{kind=dropped}``.  Binding the same (name, labels)
+pair twice returns the same instrument, so several components can share a
+counter; binding the same pair as a different instrument type is an error.
+
+Registries are deliberately process-local and unsynchronized: the
+simulator is single-threaded, and cross-process aggregation (if ever
+needed) should merge snapshots, not share instruments.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+_LABEL_KEY_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default histogram bucket upper edges for cycle-valued latencies.
+DEFAULT_CYCLE_BUCKETS: Tuple[float, ...] = (
+    8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+)
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` bucket upper edges in geometric progression from ``start``."""
+    if start <= 0:
+        raise ObservabilityError("bucket start must be positive")
+    if factor <= 1.0:
+        raise ObservabilityError("bucket factor must be > 1")
+    if count <= 0:
+        raise ObservabilityError("bucket count must be positive")
+    edges = []
+    edge = float(start)
+    for _ in range(count):
+        edges.append(edge)
+        edge *= factor
+    return tuple(edges)
+
+
+def render_metric_name(name: str, labels: Dict[str, object]) -> str:
+    """Canonical rendered form: ``name{k1=v1,k2=v2}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    The hot path increments :attr:`value` directly (``c.value += 1``);
+    :meth:`inc` exists for call sites where clarity beats the last
+    nanosecond.
+    """
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot_value(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({render_metric_name(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({render_metric_name(self.name, self.labels)}={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with ``le`` (less-or-equal) edge semantics.
+
+    ``edges`` are the bucket *upper* edges, strictly increasing; an
+    observation ``v`` lands in the first bucket whose edge satisfies
+    ``v <= edge``, and anything above the last edge lands in the implicit
+    overflow (``inf``) bucket.  Exactly-on-edge values therefore belong to
+    that edge's bucket, which the unit tests pin down.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "total", "sum")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, object],
+        edges: Sequence[float] = DEFAULT_CYCLE_BUCKETS,
+    ):
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ObservabilityError(f"histogram {name!r} needs >= 1 bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} edges must be strictly increasing: {edges}"
+            )
+        self.name = name
+        self.labels = labels
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)  # final slot = overflow
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-edge estimate of the q-th percentile (q in [0, 100]).
+
+        Returns the upper edge of the first bucket whose cumulative count
+        reaches the target rank — a conservative (never underestimating)
+        approximation; the overflow bucket reports ``inf``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
+        if not self.total:
+            return 0.0
+        rank = q / 100.0 * self.total
+        cumulative = 0
+        for edge, count in zip(self.edges, self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return edge
+        return float("inf")
+
+    def snapshot_value(self) -> Dict[str, object]:
+        buckets = {f"le_{edge:g}": c for edge, c in zip(self.edges, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({render_metric_name(self.name, self.labels)}"
+            f" n={self.total} mean={self.mean:.2f})"
+        )
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Bind-once, read-at-snapshot instrument store.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create an instrument
+    for a (name, labels) pair; re-binding returns the same object so
+    pre-bound hot-path references and later snapshot readers agree.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Instrument] = {}
+
+    # -- binding -------------------------------------------------------------
+
+    def _key(
+        self, name: str, labels: Dict[str, object]
+    ) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(
+                f"bad metric name {name!r}: want lowercase dotted segments "
+                "like 'sim.rem.round_trip_cycles'"
+            )
+        for k in labels:
+            if not _LABEL_KEY_RE.match(k):
+                raise ObservabilityError(f"bad label key {k!r} on metric {name!r}")
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def _bind(self, cls, name: str, labels: Dict[str, object], **kw) -> Instrument:
+        key = self._key(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObservabilityError(
+                    f"metric {render_metric_name(name, labels)} already "
+                    f"bound as a {existing.kind}, not a {cls.kind}"
+                )
+            if (
+                isinstance(existing, Histogram)
+                and "edges" in kw
+                and tuple(float(e) for e in kw["edges"]) != existing.edges
+            ):
+                raise ObservabilityError(
+                    f"histogram {render_metric_name(name, labels)} already "
+                    f"bound with edges {existing.edges}"
+                )
+            return existing
+        labels = {k: str(v) for k, v in labels.items()}
+        instrument = cls(name, labels, **kw)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._bind(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._bind(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        kw = {} if buckets is None else {"edges": buckets}
+        return self._bind(Histogram, name, labels, **kw)  # type: ignore[return-value]
+
+    # -- reading -------------------------------------------------------------
+
+    def instruments(self) -> Iterable[Instrument]:
+        return self._instruments.values()
+
+    def get(self, rendered: str) -> Optional[Instrument]:
+        """Fetch an instrument by its rendered name (``name{k=v,...}``)."""
+        for instrument in self._instruments.values():
+            if render_metric_name(instrument.name, instrument.labels) == rendered:
+                return instrument
+        return None
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments as ``{rendered_name: value}``, sorted by name.
+
+        Counters and gauges report their scalar value; histograms report a
+        ``{count, sum, mean, buckets}`` dict.  Deterministic for
+        deterministic runs — the simulator puts this straight into
+        :attr:`repro.sim.results.SimulationResult.metrics_snapshot`.
+        """
+        out = {
+            render_metric_name(i.name, i.labels): i.snapshot_value()
+            for i in self._instruments.values()
+        }
+        return dict(sorted(out.items()))
+
+    def top(self, n: int = 5) -> List[Tuple[str, float]]:
+        """The ``n`` hottest scalar metrics (counters/gauges by value,
+        histograms by observation count), hottest first."""
+        rows: List[Tuple[str, float]] = []
+        for i in self._instruments.values():
+            heat = float(i.total if isinstance(i, Histogram) else i.value)
+            rows.append((render_metric_name(i.name, i.labels), heat))
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows[:n]
+
+    def reset(self) -> None:
+        """Zero every instrument in place (bound references stay valid)."""
+        for i in self._instruments.values():
+            if isinstance(i, Histogram):
+                i.counts = [0] * (len(i.edges) + 1)
+                i.total = 0
+                i.sum = 0.0
+            else:
+                i.value = 0
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} instruments)"

@@ -1,0 +1,302 @@
+"""Cycle-timeline export: JSONL event dumps and Chrome ``trace_event`` JSON.
+
+Two interchange formats for one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`export_jsonl` — the raw event stream, one JSON object per line,
+  for ad-hoc grepping/pandas;
+* :func:`chrome_trace` / :func:`export_chrome_trace` — the Chrome
+  ``trace_event`` format (the JSON array flavour under a ``traceEvents``
+  key), loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  The document carries one track (thread) per line
+  card under the "line cards" process and one track per *used* fabric link
+  under the "fabric" process; every packet appears as a complete ("X")
+  span from ingress to completion/drop on its arrival LC's track, with FE
+  service spans nested inside and fabric messages as spans on their link
+  track.
+
+Timestamps are microseconds as the format requires (`cycle × 5 ns`);
+every event also carries the raw ``cycle`` in its ``args`` so figures can
+stay in the paper's units.  :func:`validate_chrome_trace` is the schema
+check the CI smoke job runs — it verifies document shape, per-LC track
+metadata, and (given the originating tracer) that each non-dropped packet's
+span covers its ingress→completion window.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ObservabilityError
+from .trace import Tracer
+
+#: Chrome-trace "process" ids grouping the tracks.
+PID_LINE_CARDS = 1
+PID_FABRIC = 2
+
+#: The paper's system cycle in nanoseconds (kept local to avoid importing
+#: simulation modules from the observability layer).
+CYCLE_NS = 5.0
+
+_US_PER_CYCLE = CYCLE_NS / 1000.0
+
+
+def export_jsonl(tracer: Tracer, path: Union[str, Path]) -> int:
+    """Dump the raw event stream, one JSON object per line; returns the
+    number of events written."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for event in tracer.events:
+            fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+    return len(tracer.events)
+
+
+def load_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read an :func:`export_jsonl` dump back into a list of events."""
+    out: List[Dict[str, object]] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def _us(cycle: int) -> float:
+    return cycle * _US_PER_CYCLE
+
+
+def chrome_trace(tracer: Tracer, name: str = "spal") -> Dict[str, object]:
+    """Build a Chrome ``trace_event`` document from a tracer's events."""
+    events: List[Dict[str, object]] = []
+
+    def meta(pid: int, tid: int, what: str, value: str) -> None:
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": what,
+             "args": {"name": value}}
+        )
+
+    meta(PID_LINE_CARDS, 0, "process_name", "line cards")
+    meta(PID_FABRIC, 0, "process_name", "fabric")
+
+    lcs_seen: set = set()
+    link_tid: Dict[tuple, int] = {}
+    # Per-packet envelope accumulated in one pass.
+    spans: Dict[int, Dict[str, object]] = {}
+
+    for event in tracer.events:
+        ename = event["name"]
+        cycle = event["cycle"]  # type: ignore[assignment]
+        lc = event["lc"]
+        pid = event["pid"]
+        if isinstance(lc, int) and lc >= 0:
+            lcs_seen.add(lc)
+        if ename == "ingress":
+            spans[pid] = {
+                "lc": lc,
+                "start": cycle,
+                "end": None,
+                "outcome": "open",
+                "dest": event.get("dest"),
+            }
+        elif ename == "complete" and pid in spans:
+            spans[pid]["end"] = cycle
+            spans[pid]["outcome"] = "completed"
+        elif ename == "drop":
+            span = spans.setdefault(
+                pid, {"lc": lc, "start": cycle, "end": None,
+                      "outcome": "open", "dest": event.get("dest")}
+            )
+            span["end"] = cycle
+            span["outcome"] = "dropped"
+            span["reason"] = event.get("reason", "?")
+        elif ename == "fe":
+            start = event["start"]  # type: ignore[index]
+            done = event["done"]  # type: ignore[index]
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID_LINE_CARDS,
+                    "tid": lc,
+                    "name": "fe",
+                    "cat": "fe",
+                    "ts": _us(start),  # type: ignore[arg-type]
+                    "dur": _us(done - start),  # type: ignore[operator]
+                    "args": {"cycle": start, "packet": pid},
+                }
+            )
+        elif ename == "fabric.send":
+            src = event["src"]
+            dst = event["dst"]
+            key = (src, dst)
+            if key not in link_tid:
+                tid = len(link_tid) + 1
+                link_tid[key] = tid
+                meta(PID_FABRIC, tid, "thread_name", f"link {src}->{dst}")
+            dropped = bool(event.get("dropped"))
+            recv = event.get("recv", cycle)
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID_FABRIC,
+                    "tid": link_tid[key],
+                    "name": "msg.dropped" if dropped else f"msg.{event.get('kind', '?')}",
+                    "cat": "fabric",
+                    "ts": _us(cycle),  # type: ignore[arg-type]
+                    "dur": _us(recv - cycle),  # type: ignore[operator]
+                    "args": {"cycle": cycle, "packet": pid,
+                             "src": src, "dst": dst},
+                }
+            )
+        elif ename in ("cache.hit", "cache.wait", "cache.miss",
+                       "timeout.retry", "flush", "fault"):
+            args = {
+                k: v
+                for k, v in event.items()
+                if k not in ("name", "cycle", "lc", "pid")
+            }
+            args["cycle"] = cycle
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": PID_LINE_CARDS,
+                    "tid": lc if isinstance(lc, int) and lc >= 0 else 0,
+                    "name": ename,
+                    "cat": "cache" if ename.startswith("cache.") else "sim",
+                    "ts": _us(cycle),  # type: ignore[arg-type]
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        # "reply" / "remote.recv" stay JSONL-only: on the Chrome timeline
+        # they are implied by the fabric message span endpoints.
+
+    for lc in sorted(lcs_seen):
+        meta(PID_LINE_CARDS, lc, "thread_name", f"LC {lc}")
+
+    for pid in sorted(spans):
+        span = spans[pid]
+        start = span["start"]
+        end = span["end"] if span["end"] is not None else start
+        args: Dict[str, object] = {
+            "cycle": start,
+            "outcome": span["outcome"],
+        }
+        if span.get("dest") is not None:
+            args["dest"] = span["dest"]
+        if span.get("reason"):
+            args["reason"] = span["reason"]
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID_LINE_CARDS,
+                "tid": span["lc"],
+                "name": f"pkt {pid}",
+                "cat": "packet",
+                "ts": _us(start),  # type: ignore[arg-type]
+                "dur": _us(end - start),  # type: ignore[operator]
+                "args": args,
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro.obs",
+            "name": name,
+            "cycle_ns": CYCLE_NS,
+        },
+    }
+
+
+def export_chrome_trace(
+    tracer: Tracer, path: Union[str, Path], name: str = "spal"
+) -> Dict[str, object]:
+    """Build, validate and write the Chrome-trace document; returns it."""
+    doc = chrome_trace(tracer, name=name)
+    validate_chrome_trace(doc, tracer=tracer)
+    Path(path).write_text(json.dumps(doc))
+    return doc
+
+
+# -- validation --------------------------------------------------------------
+
+_VALID_PH = {"M", "X", "i"}
+
+
+def validate_chrome_trace(
+    doc: Dict[str, object],
+    n_lcs: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+) -> None:
+    """Schema-check a Chrome-trace document (raises ObservabilityError).
+
+    Checks the document shape and every event's required fields; with
+    ``n_lcs`` it additionally requires one named track per line card, and
+    with the originating ``tracer`` it requires a packet span covering
+    ingress→completion for every non-dropped packet.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ObservabilityError("chrome trace must be a dict with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError("'traceEvents' must be a list")
+    lc_tracks: set = set()
+    packet_spans: Dict[int, tuple] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if ph not in _VALID_PH:
+            raise ObservabilityError(f"event {i} has bad ph {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ObservabilityError(f"event {i} missing integer {field!r}")
+        if not isinstance(event.get("name"), str):
+            raise ObservabilityError(f"event {i} missing 'name'")
+        if ph == "M":
+            if (
+                event["name"] == "thread_name"
+                and event["pid"] == PID_LINE_CARDS
+            ):
+                lc_tracks.add(event["tid"])
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ObservabilityError(f"event {i} has bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ObservabilityError(f"event {i} has bad dur {dur!r}")
+            if event["name"].startswith("pkt "):
+                pid = int(event["name"].split()[1])
+                packet_spans[pid] = (ts, ts + dur,
+                                     event.get("args", {}).get("outcome"))
+    if n_lcs is not None:
+        missing = set(range(n_lcs)) - lc_tracks
+        if missing:
+            raise ObservabilityError(
+                f"no thread_name track for line cards {sorted(missing)}"
+            )
+    if tracer is not None:
+        for event in tracer.events:
+            if event["name"] != "complete":
+                continue
+            pid = event["pid"]
+            if pid not in packet_spans:  # type: ignore[operator]
+                raise ObservabilityError(
+                    f"completed packet {pid} has no span in the export"
+                )
+            start_us, end_us, outcome = packet_spans[pid]  # type: ignore[index]
+            done_us = _us(event["cycle"])  # type: ignore[arg-type]
+            if outcome != "completed":
+                raise ObservabilityError(
+                    f"packet {pid} completed but its span says {outcome!r}"
+                )
+            if end_us + 1e-9 < done_us:
+                raise ObservabilityError(
+                    f"packet {pid} span ends at {end_us}us before its "
+                    f"completion at {done_us}us"
+                )

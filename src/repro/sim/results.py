@@ -42,6 +42,13 @@ class SimulationResult:
     #: and their mean lookup latency (the failover transient cost).
     failover_packets: int = 0
     failover_mean_cycles: float = 0.0
+    #: The run's :meth:`repro.obs.MetricsRegistry.snapshot` — every
+    #: registry instrument (counters, gauges, histogram summaries) keyed by
+    #: rendered name, e.g. ``"cache.lr.evictions{kind=REM,lc=3}"``.
+    #: Deterministic: only event-timeline-derived values are recorded, so
+    #: traced and untraced runs carry bit-identical snapshots (wall-clock
+    #: phase timings live on ``SpalSimulator.phase_seconds`` instead).
+    metrics_snapshot: Dict[str, object] = field(default_factory=dict)
 
     @property
     def packets(self) -> int:
@@ -111,6 +118,20 @@ class SimulationResult:
             if hi > lo:
                 out.append(float(self.latencies[lo:hi].mean()))
         return out
+
+    def top_metrics(self, n: int = 5) -> List[tuple]:
+        """The ``n`` hottest entries of :attr:`metrics_snapshot`
+        (counters/gauges by value, histograms by observation count),
+        hottest first — the quick "where did the cycles go" view."""
+        rows = []
+        for name, value in self.metrics_snapshot.items():
+            if isinstance(value, dict):
+                heat = float(value.get("count", 0))
+            else:
+                heat = float(value)
+            rows.append((name, heat))
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows[:n]
 
     @property
     def total_drops(self) -> int:

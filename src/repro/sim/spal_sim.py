@@ -39,7 +39,8 @@ past the last packet's completion on fault runs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+import time
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -53,6 +54,8 @@ from ..errors import (
     SimulationError,
     UnreachablePatternError,
 )
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Tracer
 from ..routing.table import RoutingTable
 from ..tries.reference import HashReferenceMatcher
 from ..traffic.packets import arrival_times
@@ -74,6 +77,8 @@ class _Packet:
         "hop",
         "attempt",
         "dropped",
+        "sent_at",
+        "pid",
     )
 
     def __init__(self, dest: int, arrival_lc: int, arrival_time: int):
@@ -87,6 +92,8 @@ class _Packet:
         self.hop = None          # precomputed FE result (None = look up at FE)
         self.attempt = 0         # remote-request attempt (bumped per retry)
         self.dropped = None      # drop reason, or None while in flight
+        self.sent_at = -1        # cycle the current remote request departed
+        self.pid = -1            # trace packet id (-1 when tracing is off)
 
 
 class _RemoteWaiter:
@@ -121,6 +128,18 @@ class SpalSimulator:
         Both must have been built from this exact ``table``/``config``;
         matchers only read their tables during a run, so one (plan,
         matchers) pair can serve many single-use simulators.
+    registry:
+        A :class:`repro.obs.MetricsRegistry` to bind this run's instruments
+        into (one is created per simulator when omitted).  Instruments are
+        pre-bound here so the event handlers touch plain attributes;
+        :attr:`SimulationResult.metrics_snapshot` carries the registry's
+        end-of-run snapshot either way.
+    trace:
+        A :class:`repro.obs.Tracer` collecting packet-lifecycle span
+        events.  ``None`` or a tracer with ``enabled=False`` costs one
+        truthiness check per instrumented site and records nothing; a
+        traced run's :class:`SimulationResult` is bit-identical to an
+        untraced one.
     """
 
     def __init__(
@@ -131,6 +150,8 @@ class SpalSimulator:
         verify: bool = False,
         plan: Optional[PartitionPlan] = None,
         matchers: Optional[Sequence[HashReferenceMatcher]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[Tracer] = None,
     ):
         self.config = config or SpalConfig()
         self.config.validate()
@@ -176,23 +197,44 @@ class SpalSimulator:
             shared = HashReferenceMatcher(table)
             self._matchers = [shared] * self.config.n_lcs
         n = self.config.n_lcs
+        # -- observability: pre-bound instruments + normalized tracer -----
+        # A disabled tracer is normalized to None here, so every
+        # instrumented site pays exactly one truthiness check when off.
+        self.obs = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+        self._trace: Optional[Tracer] = (
+            trace if trace is not None and trace.enabled else None
+        )
+        self._m_rem_rt = self.obs.histogram("sim.rem.round_trip_cycles")
+        self._m_retries = self.obs.counter("sim.retries")
+        self._m_drops = {
+            reason: self.obs.counter("sim.drops", reason=reason)
+            for reason in ("ingress", "crash", "unreachable")
+        }
+        self._m_fabric_dropped = self.obs.counter("fabric.msgs", kind="dropped")
+        self._m_flushes = self.obs.counter("sim.flushes")
+        #: Wall-clock seconds per run phase (precompute / schedule / run /
+        #: collect) — kept off the SimulationResult so deterministic fields
+        #: stay bit-identical across repeats; ``scripts/profile_sim.py``
+        #: reads it for the per-phase breakdown.
+        self.phase_seconds: Dict[str, float] = {}
         self.caches: List[Optional[LRCache]] = []
         for i in range(n):
             if self.config.cache is None:
                 self.caches.append(None)
             else:
                 c = self.config.cache
-                self.caches.append(
-                    LRCache(
-                        n_blocks=c.n_blocks,
-                        associativity=c.associativity,
-                        mix=c.mix,
-                        policy=c.policy,
-                        victim_blocks=c.victim_blocks,
-                        policy_seed=i,
-                        index=c.index,
-                    )
+                cache = LRCache(
+                    n_blocks=c.n_blocks,
+                    associativity=c.associativity,
+                    mix=c.mix,
+                    policy=c.policy,
+                    victim_blocks=c.victim_blocks,
+                    policy_seed=i,
+                    index=c.index,
                 )
+                cache.bind_obs(self.obs, lc=i)
+                self.caches.append(cache)
         self.fabric = self.config.make_fabric()
         self.queue = EventQueue()
         self.cache_ports = [Resource() for _ in range(n)]
@@ -248,12 +290,28 @@ class SpalSimulator:
         timeout.
         """
         arrive = self._transfer(src, dst, when)
+        dropped = False
         if self._faults is not None:
             p = self._faults.drop_prob_at(when)
             if p > 0.0 and self._fault_rng.random() < p:
                 self.fabric_dropped_messages += 1
-                return
-        self.queue.schedule(arrive, handler, *args)
+                self._m_fabric_dropped.value += 1
+                dropped = True
+        tr = self._trace
+        if tr is not None:
+            tr.record(
+                "fabric.send",
+                when,
+                lc=src,
+                pid=args[0].pid,
+                src=src,
+                dst=dst,
+                recv=arrive,
+                kind="request" if handler is self._remote_request else "reply",
+                dropped=dropped,
+            )
+        if not dropped:
+            self.queue.schedule(arrive, handler, *args)
 
     def _home_of(self, pkt: _Packet, arrival_lc: int) -> int:
         if pkt.home >= 0 and (
@@ -266,6 +324,10 @@ class SpalSimulator:
 
     def _arrive(self, pkt: _Packet, lc: int) -> None:
         """Packet header reaches the LR-cache stage of LC ``lc``."""
+        tr = self._trace
+        if tr is not None:
+            tr.record("ingress", self.queue.now, lc=lc, pid=pkt.pid,
+                      dest=pkt.dest)
         if self._failed[lc]:
             # The LC's external ports are down: traffic offered to a dead
             # card is lost at ingress, never queued.
@@ -303,14 +365,22 @@ class SpalSimulator:
         assert cache is not None
         entry = cache.probe(pkt.dest)
         if entry is not None:
+            tr = self._trace
             if entry.waiting:
+                if tr is not None:
+                    tr.record("cache.wait", now, lc=lc, pid=pkt.pid)
                 entry.waiters.append(pkt)
             else:
+                if tr is not None:
+                    tr.record("cache.hit", now, lc=lc, pid=pkt.pid)
                 self._complete(pkt, now + 1)
             return
         self._miss(pkt, lc, now)
 
     def _miss(self, pkt: _Packet, lc: int, now: int) -> None:
+        tr = self._trace
+        if tr is not None:
+            tr.record("cache.miss", now, lc=lc, pid=pkt.pid)
         cache = self.caches[lc]
         home = self._home_of(pkt, lc)
         local = home == lc
@@ -330,6 +400,7 @@ class SpalSimulator:
         if home == lc:
             self._fe_request(pkt, lc, now, origin=None)
         else:
+            pkt.sent_at = now + 1
             self._send(lc, home, now + 1, self._remote_request, pkt, home)
             if self._timeout is not None:
                 self.queue.schedule(
@@ -367,6 +438,9 @@ class SpalSimulator:
         """
         start, done = self.fes[lc].acquire(now + 1, self.config.fe_lookup_cycles)
         self.fe_lookups[lc] += 1
+        tr = self._trace
+        if tr is not None:
+            tr.record("fe", now, lc=lc, pid=pkt.pid, start=start, done=done)
         backlog = (start - (now + 1)) // self.config.fe_lookup_cycles
         if backlog > self.max_fe_backlog[lc]:
             self.max_fe_backlog[lc] = backlog
@@ -425,6 +499,9 @@ class SpalSimulator:
 
     def _remote_request(self, pkt: _Packet, home: int) -> None:
         """A request arrives at its home LC over the fabric."""
+        tr = self._trace
+        if tr is not None:
+            tr.record("remote.recv", self.queue.now, lc=home, pid=pkt.pid)
         if self._failed[home]:
             # Dead forwarding engine: the request is never answered; the
             # origin's timeout fires and fails over to a live replica.
@@ -482,6 +559,15 @@ class SpalSimulator:
         """A lookup result returns to the arrival LC."""
         now = self.queue.now
         lc = pkt.arrival_lc
+        if pkt.sent_at >= 0:
+            # Round trip of the most recent remote request: dispatch (or
+            # retry resend) cycle to reply delivery.  Event-timeline
+            # deterministic, so it is safe to observe unconditionally.
+            self._m_rem_rt.observe(now - pkt.sent_at)
+            pkt.sent_at = -1
+        tr = self._trace
+        if tr is not None:
+            tr.record("reply", now, lc=lc, pid=pkt.pid)
         if self._failed[lc]:
             # The packet's own card died while its reply was in flight.
             self._drop(pkt, "crash")
@@ -507,6 +593,9 @@ class SpalSimulator:
             return
         pkt.complete_time = when
         self.completed.append(pkt)
+        tr = self._trace
+        if tr is not None:
+            tr.record("complete", when, lc=pkt.arrival_lc, pid=pkt.pid)
 
     # -- faults, timeouts and failover --------------------------------------
 
@@ -523,7 +612,12 @@ class SpalSimulator:
             return
         pkt.dropped = reason
         self.drops[reason] += 1
+        self._m_drops[reason].value += 1
         self.dropped_packets.append(pkt)
+        tr = self._trace
+        if tr is not None:
+            tr.record("drop", self.queue.now, lc=pkt.arrival_lc,
+                      pid=pkt.pid, reason=reason)
         entry = pkt.entry
         if entry is not None and entry.waiting:
             cache = self.caches[pkt.arrival_lc]
@@ -559,6 +653,7 @@ class SpalSimulator:
             self._exhausted(pkt, lc)
             return
         self.retries += 1
+        self._m_retries.value += 1
         now = self.queue.now
         live = (
             self.plan.live_replicas(pkt.dest)
@@ -574,9 +669,14 @@ class SpalSimulator:
         # still-live home means congestion or message loss — spreading the
         # retry is both the realistic and the fast recovery).
         home = live[(pkt.dest + pkt.attempt) % len(live)]
+        tr = self._trace
+        if tr is not None:
+            tr.record("timeout.retry", now, lc=lc, pid=pkt.pid,
+                      attempt=pkt.attempt, next_home=home)
         if home == lc:
             self._fe_request(pkt, lc, now, origin=None)
             return
+        pkt.sent_at = now + 1
         self._send(lc, home, now + 1, self._remote_request, pkt, home)
         self.queue.schedule(
             now + 1 + self._timeout_for(pkt.attempt),
@@ -619,6 +719,9 @@ class SpalSimulator:
         """Scripted LC failure/recovery from the FaultSchedule."""
         now = self.queue.now
         self.fault_event_count += 1
+        tr = self._trace
+        if tr is not None:
+            tr.record("fault", now, lc=lc, kind=kind)
         if kind == "fail":
             if self._failed[lc]:
                 return
@@ -664,6 +767,10 @@ class SpalSimulator:
             if cache is not None:
                 cache.flush()
         self.flushes += 1
+        self._m_flushes.value += 1
+        tr = self._trace
+        if tr is not None:
+            tr.record("flush", self.queue.now, kind="full")
 
     def _invalidate_prefix(self, prefix) -> None:
         """Selective invalidation (the flush alternative) for one update."""
@@ -671,6 +778,10 @@ class SpalSimulator:
             if cache is not None:
                 cache.invalidate_matching(prefix)
         self.flushes += 1
+        self._m_flushes.value += 1
+        tr = self._trace
+        if tr is not None:
+            tr.record("flush", self.queue.now, kind="selective")
 
     def _precompute_streams(
         self, streams: Sequence[np.ndarray]
@@ -804,7 +915,12 @@ class SpalSimulator:
             for cycle, kind, lc in faults.lc_events():
                 self.queue.schedule(cycle, self._apply_lc_fault, kind, lc)
         self._plan_epoch = self.plan.epoch if self.plan is not None else 0
+        t0 = time.perf_counter()
         precomputed = self._precompute_streams(streams)
+        self.phase_seconds["precompute"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tracing = self._trace is not None
+        next_pid = 0
         total = 0
         for lc, stream in enumerate(streams):
             times = arrival_times(
@@ -814,6 +930,11 @@ class SpalSimulator:
             for i, (t, dest) in enumerate(zip(times, stream)):
                 pkt = _Packet(int(dest), lc, int(t))
                 pkt.measured = i >= warmup_packets
+                if tracing:
+                    # Sequential per run, touched only by the tracer — pid
+                    # assignment cannot perturb the simulated timeline.
+                    pkt.pid = next_pid
+                    next_pid += 1
                 if homes_hops is not None:
                     pkt.home = homes_hops[0][i]
                     pkt.hop = homes_hops[1][i]
@@ -825,7 +946,11 @@ class SpalSimulator:
         if update_events:
             for t, prefix in update_events:
                 self.queue.schedule(int(t), self._invalidate_prefix, prefix)
+        self.phase_seconds["schedule"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         horizon = self.queue.run()
+        self.phase_seconds["run"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         # Conservation: every offered packet either completed its lookup or
         # is accounted as a drop — anything else is a simulator bug.
         if len(self.completed) + len(self.dropped_packets) != total:
@@ -900,4 +1025,39 @@ class SpalSimulator:
                 result.failover_mean_cycles = float(
                     sum(failover) / len(failover)
                 )
+        self._fill_registry(horizon)
+        result.metrics_snapshot = self.obs.snapshot()
+        self.phase_seconds["collect"] = time.perf_counter() - t0
         return result
+
+    def _fill_registry(self, horizon: int) -> None:
+        """Publish end-of-run aggregates into the registry.
+
+        Everything here is copied *at snapshot time* from counters the
+        simulator maintained anyway (cache/FE stats, fabric totals), so the
+        event handlers never paid for it; only rare-path instruments
+        (drops, retries, flushes, fabric drops, the remote round-trip
+        histogram, eviction-kind split) are incremented live.  All values
+        derive from the event timeline, keeping the snapshot bit-identical
+        across traced/untraced and fast-path on/off runs.
+        """
+        obs = self.obs
+        for cache in self.caches:
+            if cache is not None:
+                cache.observe_into()
+        self.fabric.observe_into(obs)
+        if self.plan is not None:
+            self.plan.observe_into(obs)
+        for i in range(self.config.n_lcs):
+            obs.counter("fe.lookups", lc=i).value = self.fe_lookups[i]
+            obs.gauge("fe.utilization", lc=i).set(
+                self.fes[i].utilization(horizon)
+            )
+            obs.gauge("fe.max_backlog", lc=i).set(self.max_fe_backlog[i])
+        obs.counter("sim.packets", outcome="completed").value = len(
+            self.completed
+        )
+        obs.counter("sim.packets", outcome="dropped").value = len(
+            self.dropped_packets
+        )
+        obs.gauge("sim.horizon_cycles").set(horizon)

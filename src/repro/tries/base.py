@@ -17,6 +17,7 @@ From accesses the FE matching time is derived exactly as the paper does:
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
@@ -86,6 +87,11 @@ class LongestPrefixMatcher(ABC):
         self.counter = AccessCounter()
         self._batch_kernel: Optional[BatchKernel] = None
         self._batch_compiled = False
+        #: Optional :class:`repro.obs.profile.KernelProfile`; when attached,
+        #: :meth:`lookup_batch` records the compile-vs-traverse time split
+        #: and per-lookup access counts.  ``None`` (the default) costs one
+        #: truthiness check per batch call.
+        self.profiler = None
 
     @abstractmethod
     def lookup(self, address: int) -> NextHop:
@@ -126,13 +132,28 @@ class LongestPrefixMatcher(ABC):
         if n == 0:
             return np.empty(0, dtype=np.int64)
         width = getattr(self, "width", 0)
+        profiler = self.profiler
         if batch_enabled() and 0 < width <= MAX_KERNEL_WIDTH:
             if not self._batch_compiled:
-                self._batch_kernel = self._compile_batch_kernel()
+                if profiler is not None:
+                    t0 = time.perf_counter()
+                    self._batch_kernel = self._compile_batch_kernel()
+                    profiler.record_compile(time.perf_counter() - t0)
+                else:
+                    self._batch_kernel = self._compile_batch_kernel()
                 self._batch_compiled = True
             kernel = self._batch_kernel
             if kernel is not None:
-                hops, accesses = kernel(np.asarray(addresses, dtype=np.uint64))
+                if profiler is not None:
+                    t0 = time.perf_counter()
+                    hops, accesses = kernel(
+                        np.asarray(addresses, dtype=np.uint64)
+                    )
+                    profiler.record_batch(accesses, time.perf_counter() - t0)
+                else:
+                    hops, accesses = kernel(
+                        np.asarray(addresses, dtype=np.uint64)
+                    )
                 counter = self.counter
                 counter.lookups += n
                 counter.accesses += int(accesses.sum())
@@ -142,6 +163,12 @@ class LongestPrefixMatcher(ABC):
                 return hops
         out = np.empty(n, dtype=np.int64)
         lookup = self.lookup
+        if profiler is not None:
+            t0 = time.perf_counter()
+            for i, address in enumerate(addresses):
+                out[i] = lookup(int(address))
+            profiler.record_scalar(n, time.perf_counter() - t0)
+            return out
         for i, address in enumerate(addresses):
             out[i] = lookup(int(address))
         return out
@@ -149,15 +176,31 @@ class LongestPrefixMatcher(ABC):
     def storage_kbytes(self) -> float:
         return self.storage_bytes() / 1024.0
 
-    def measure(self, addresses: Iterable[int]) -> Tuple[float, int]:
-        """Run lookups over ``addresses``; return (mean, max) accesses."""
+    def measure(
+        self, addresses: Iterable[int], profiler=None
+    ) -> Tuple[float, int]:
+        """Run lookups over ``addresses``; return (mean, max) accesses.
+
+        ``profiler`` optionally attaches a
+        :class:`repro.obs.profile.KernelProfile` for this call only
+        (compile/traverse time split, per-level node-touch counts); the
+        measured accesses are unaffected either way.
+        """
         self.counter.reset()
         addrs = (
             addresses
             if isinstance(addresses, (list, np.ndarray))
             else [int(a) for a in addresses]
         )
-        self.lookup_batch(addrs)
+        if profiler is not None:
+            previous = self.profiler
+            self.profiler = profiler
+            try:
+                self.lookup_batch(addrs)
+            finally:
+                self.profiler = previous
+        else:
+            self.lookup_batch(addrs)
         return self.counter.mean_accesses, self.counter.max_accesses
 
 

@@ -1,9 +1,12 @@
 """Property-based tests for the simulator: conservation and causality."""
 
+import os
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core import CacheConfig, SpalConfig
+from repro.core import CacheConfig, FaultSchedule, SpalConfig
+from repro.obs import Tracer
 from repro.routing import random_small_table
 from repro.sim import SpalSimulator
 
@@ -89,3 +92,68 @@ class TestConservation:
         sim = SpalSimulator(TABLE, config, partitioned=False)
         result = sim.run(streams)
         assert result.fabric_messages == 0
+
+
+def _result_fields(r):
+    """Every SimulationResult field, hashable-comparable (observability
+    contract: tracing must not change a single one of these)."""
+    return (
+        r.name,
+        r.n_lcs,
+        r.latencies.tobytes(),
+        r.horizon_cycles,
+        r.cache_stats,
+        r.fe_lookups,
+        r.fe_utilization,
+        r.fabric_messages,
+        r.flushes,
+        r.extra,
+        r.drops,
+        r.retries,
+        r.fabric_dropped_messages,
+        r.fault_events,
+        r.lc_availability,
+        r.failover_packets,
+        r.failover_mean_cycles,
+        r.metrics_snapshot,
+    )
+
+
+class TestTracingInvariance:
+    """Tracing is observation only: a traced run, a run with a disabled
+    tracer, and an untraced run produce bit-identical results — with the
+    batch fast path on or off, with and without fault injection."""
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_tracing_never_changes_any_result_field(self, data):
+        config = data.draw(sim_configs())
+        streams = data.draw(small_streams(config.n_lcs))
+        batch = data.draw(st.booleans())
+        faults = None
+        if config.n_lcs > 1 and data.draw(st.booleans()):
+            lc = data.draw(st.integers(0, config.n_lcs - 1))
+            fail = data.draw(st.integers(0, 1500))
+            recover = fail + data.draw(st.integers(1, 2000))
+            faults = FaultSchedule(seed=7).fail_lc(fail, lc).recover_lc(
+                recover, lc
+            )
+        previous = os.environ.get("REPRO_BATCH")
+        os.environ["REPRO_BATCH"] = "1" if batch else "0"
+        try:
+            def run(trace):
+                sim = SpalSimulator(TABLE, config, trace=trace)
+                return sim.run(
+                    [s.copy() for s in streams], faults=faults, name="t"
+                )
+
+            plain = run(None)
+            disabled = run(Tracer(enabled=False))
+            traced = run(Tracer())
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_BATCH", None)
+            else:
+                os.environ["REPRO_BATCH"] = previous
+        for other in (disabled, traced):
+            assert _result_fields(other) == _result_fields(plain)
