@@ -82,7 +82,7 @@ def test_bench_scorecard(benchmark):
 
 
 def test_bench_stride_optimization(benchmark):
-    """E17: the stride DP beats (or ties) the 16/8/8 habit at 3 levels."""
+    """E19: the stride DP beats (or ties) the 16/8/8 habit at 3 levels."""
     from repro.experiments import run_stride_optimization
 
     result = benchmark.pedantic(

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Execute the tutorial's fenced python blocks, in order, in one namespace.
+
+The blocks in docs/TUTORIAL.md build on one another top to bottom (§1
+defines the tables §6 simulates), so this runs them *cumulatively*: each
+``` python fence executes in the same globals as everything before it.
+``bash`` fences (CLI invocations) are skipped.  Any exception — including
+a failed `assert` inside a snippet — fails the run with the offending
+block's line range, which is what the CI `docs-check` job gates on: the
+tutorial cannot drift from the API it documents.
+
+    PYTHONPATH=src python scripts/check_docs.py [path ...]
+
+Defaults to docs/TUTORIAL.md; pass other markdown files to check them
+the same way (each file gets a fresh namespace).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """(start_line, source) for every ```python fence, in document order."""
+    blocks: list[tuple[int, str]] = []
+    lang: str | None = None
+    start = 0
+    buf: list[str] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        m = FENCE.match(line)
+        if m and lang is None:
+            lang = m.group(1) or "python"
+            start = i + 1
+            buf = []
+        elif m:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf)))
+            lang = None
+        elif lang is not None:
+            buf.append(line)
+    return blocks
+
+
+def check_file(path: Path) -> int:
+    text = path.read_text()
+    blocks = python_blocks(text)
+    if not blocks:
+        print(f"{path}: no python blocks")
+        return 0
+    ns: dict[str, object] = {"__name__": "__docs__"}
+    for start, source in blocks:
+        end = start + source.count("\n")
+        t0 = time.perf_counter()
+        try:
+            code = compile(source, f"{path}:{start}", "exec")
+            exec(code, ns)  # noqa: S102 — executing our own documentation
+        except Exception:
+            import traceback
+
+            traceback.print_exc()
+            print(f"FAIL {path} lines {start}-{end}", file=sys.stderr)
+            return 1
+        print(f"ok   {path} lines {start}-{end} "
+              f"({time.perf_counter() - t0:.1f}s)")
+    print(f"{path}: {len(blocks)} blocks OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(a) for a in argv] or [root / "docs" / "TUTORIAL.md"]
+    return max(check_file(p) for p in paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -132,6 +132,43 @@ conservation invariant at the end of each run.  Experiment `failover`
 """
 
 
+CHURN_SECTION = """
+## Live route churn
+
+`repro.routing.churn` turns ordered update streams into *timestamped*
+schedules: `generate_churn(table, rate_per_s, horizon_cycles, seed=...)`
+draws bursty announce/withdraw/next-hop-change events (geometric burst
+sizes, µs intra-burst gaps — AS-path-flap locality) whose mean rate
+matches the request; `ChurnSchedule` also has chainable
+`announce`/`withdraw` builders for hand-scripted cases, and
+`validate(table)` proves the stream applies cleanly in order.
+
+Pass a schedule to `SpalSimulator.run(streams, updates=...,
+update_policy=...)` and each update interleaves with packet events in the
+cycle loop: it is routed to its pattern-holder LC(s) through the
+partition plan, applied to each holder's matcher *incrementally*
+(`apply_update` on every trie — binary/DP patch natively; Lulea patches
+chunkwise with a leak-threshold rebuild model; LC-trie patches next-hop
+changes in place), charged as FE busy time via the paper's
+`work x 12 ns + 120 ns` service model, and followed by cache
+invalidation under the armed policy: `"flush"` (the paper's Sec. 3.2
+full flush), `"selective"` (drop exactly the entries the prefix covers,
+at every LC) or `"rem"` (prefix invalidation at holders, REM-only
+elsewhere).  Invalidation is atomic at the update cycle — no lookup can
+return a stale next hop, which the `verify=True` oracle (itself
+update-tracking) certifies on every run — while update->invalidate
+fabric messages are still charged for latency/port accounting.
+
+Churn runs populate `SimulationResult.update_events_applied`,
+`update_patches` / `update_rebuilds`, `update_service_cycles`,
+`invalidation_messages`, `invalidation_entries_dropped` and
+`churn_misses` (misses caused by invalidated entries, attributed at miss
+time).  A run with no schedule is bit-identical to the pre-churn
+simulator, fast path on or off.  Experiments `updates` (E10),
+`invalidation` (E10b) and `churn` (E17) all drive this one mechanism.
+"""
+
+
 OBS_SECTION = """
 ## Observability
 
@@ -171,6 +208,7 @@ def main() -> None:
         "_Generated by `scripts/gen_api_docs.py`; do not edit by hand._\n",
         BATCH_SECTION,
         FAULT_SECTION,
+        CHURN_SECTION,
         OBS_SECTION,
     ]
     for pkg_name in SUBPACKAGES:

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..routing.prefix import Prefix
 from ..routing.table import NextHop, RoutingTable
-from ..tries.base import LongestPrefixMatcher
+from ..tries.base import LongestPrefixMatcher, UpdateResult
 from .config import CacheConfig
 from .lr_cache import LOC, REM, LRCache
 
@@ -48,6 +49,21 @@ class ForwardingEngine:
     def rebuild(self) -> None:
         """Rebuild the LPM structure after table updates (static tries)."""
         self.matcher = self._matcher_factory(self.table)
+
+    def apply_update(
+        self, prefix: Prefix, next_hop: Optional[NextHop]
+    ) -> UpdateResult:
+        """Apply one routing update to the matcher, incrementally when the
+        structure supports it, otherwise by full rebuild.
+
+        The caller must have applied the same change to ``self.table``
+        first (matchers that rebuild reconstruct from it).
+        """
+        try:
+            return self.matcher.apply_update(prefix, next_hop)
+        except NotImplementedError:
+            self.rebuild()
+            return UpdateResult("rebuild", len(self.table))
 
     def storage_bytes(self) -> int:
         return self.matcher.storage_bytes()

@@ -282,7 +282,7 @@ class LRCache:
                 out.append(s.pop(addr))
         return out
 
-    def invalidate_remote(self, predicate) -> int:
+    def invalidate_remote(self, predicate, sink: Optional[list] = None) -> int:
         """Drop complete REM entries whose address satisfies ``predicate``.
 
         The failover invalidation hook: when a home LC dies, results this
@@ -290,7 +290,8 @@ class LRCache:
         table may miss updates applied while it is down), so the simulator
         drops every complete REM entry homed there.  Waiting entries stay —
         their in-flight flow resolves via timeout/failover instead.
-        Returns the number of entries dropped.
+        ``sink``, when a list, collects the dropped addresses (churn-miss
+        attribution).  Returns the number of entries dropped.
         """
         dropped = 0
         for s in self._sets:
@@ -303,15 +304,18 @@ class LRCache:
             ]
             for addr in stale:
                 del s[addr]
+            if sink is not None:
+                sink.extend(stale)
             dropped += len(stale)
         if self.victim is not None:
             victim = self.victim
             dropped += victim.discard_matching(
-                lambda addr: victim.peek(addr).mix == REM and predicate(addr)
+                lambda addr: victim.peek(addr).mix == REM and predicate(addr),
+                sink=sink,
             )
         return dropped
 
-    def invalidate_matching(self, prefix) -> int:
+    def invalidate_matching(self, prefix, sink: Optional[list] = None) -> int:
         """Selective invalidation: drop only the complete entries whose
         address falls under ``prefix`` (a :class:`repro.routing.Prefix`).
 
@@ -320,8 +324,9 @@ class LRCache:
         routing table is updated incrementally and very frequently"): a
         route change can only affect cached results its prefix covers.
         Waiting entries are left in place — their in-flight lookup will
-        complete against the updated forwarding table anyway.  Returns the
-        number of entries dropped.
+        complete against the updated forwarding table anyway.  ``sink``,
+        when a list, collects the dropped addresses (churn-miss
+        attribution).  Returns the number of entries dropped.
         """
         dropped = 0
         for s in self._sets:
@@ -332,10 +337,26 @@ class LRCache:
             ]
             for addr in stale:
                 del s[addr]
+            if sink is not None:
+                sink.extend(stale)
             dropped += len(stale)
         if self.victim is not None:
-            dropped += self.victim.discard_matching(prefix.matches)
+            dropped += self.victim.discard_matching(prefix.matches, sink=sink)
         return dropped
+
+    def resident_addresses(self) -> List[int]:
+        """Addresses of every complete (W=0) entry, victim cache included —
+        the snapshot the flush policy uses to attribute later misses to
+        churn."""
+        out = [
+            addr
+            for s in self._sets
+            for addr, entry in s.items()
+            if not entry.waiting
+        ]
+        if self.victim is not None:
+            out.extend(self.victim.addresses())
+        return out
 
     # -- replacement ---------------------------------------------------------
 

@@ -448,6 +448,24 @@ class PartitionPlan:
             epoch=self.epoch,
         )
 
+    def copy_for_updates(self) -> "PartitionPlan":
+        """An independent view for a run that applies routing updates.
+
+        Unlike :meth:`copy_for_faults` this also deep-copies the per-LC
+        forwarding tables, because a churn run *mutates* them — a shared
+        (possibly memoized) plan must never see another run's updates.
+        """
+        return PartitionPlan(
+            bits=self.bits,
+            n_lcs=self.n_lcs,
+            lc_of_pattern=self.lc_of_pattern,
+            tables=[t.copy() for t in self.tables],
+            source_version=self.source_version,
+            replicas_of_pattern=self.replicas_of_pattern,
+            failed_lcs=set(self.failed_lcs),
+            epoch=self.epoch,
+        )
+
     def partition_sizes(self) -> List[int]:
         return [len(t) for t in self.tables]
 

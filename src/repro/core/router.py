@@ -48,6 +48,10 @@ class RouterStats:
     remote_requests: int = 0   # requests sent across the fabric
     remote_replies: int = 0    # replies returned across the fabric
     updates: int = 0           # routing-table updates applied
+    update_patches: int = 0    # per-LC incremental patches
+    update_rebuilds: int = 0   # per-LC full structure rebuilds
+    update_service_cycles: int = 0  # FE cycles spent applying updates
+    invalidation_entries: int = 0   # cache entries dropped selectively
 
 
 class SpalRouter:
@@ -195,14 +199,22 @@ class SpalRouter:
         partitions, rebuild those FEs, and invalidate LR-cache state.
 
         ``invalidation`` selects the cache policy: ``"flush"`` drops every
-        entry (the paper's conservative Sec. 3.2 policy) while
-        ``"selective"`` drops only entries the updated prefix covers — the
-        remedy for the paper's noted weakness with frequent incremental
-        updates.
+        entry (the paper's conservative Sec. 3.2 policy); ``"selective"``
+        drops only entries the updated prefix covers — the remedy for the
+        paper's noted weakness with frequent incremental updates; ``"rem"``
+        additionally narrows non-home LCs to their REM copies, since a LOC
+        entry under the prefix can only exist at an LC that holds the
+        pattern (and those are invalidated in full).
+
+        Each touched FE applies the update incrementally when its structure
+        supports it (:meth:`ForwardingEngine.apply_update`); the patch vs
+        rebuild split and the modeled service cycles accumulate in
+        :attr:`stats`.
         """
-        if invalidation not in ("flush", "selective"):
+        if invalidation not in ("flush", "selective", "rem"):
             raise SimulationError(
-                f"invalidation must be 'flush' or 'selective', got {invalidation!r}"
+                "invalidation must be 'flush', 'selective' or 'rem', "
+                f"got {invalidation!r}"
             )
         if next_hop is None:
             self.table.remove(prefix)
@@ -210,14 +222,26 @@ class SpalRouter:
             self.table.update(prefix, next_hop)
         touched = apply_route_update(self.plan, prefix, next_hop)
         for lc_index in touched:
-            self.line_cards[lc_index].fe.rebuild()
+            result = self.line_cards[lc_index].fe.apply_update(prefix, next_hop)
+            if result.kind == "patch":
+                self.stats.update_patches += 1
+            else:
+                self.stats.update_rebuilds += 1
+            self.stats.update_service_cycles += result.service_cycles
+        touched_set = set(touched)
         for lc in self.line_cards:
             if lc.cache is None:
                 continue
             if invalidation == "flush":
                 lc.flush_cache()
+            elif invalidation == "selective" or lc.index in touched_set:
+                self.stats.invalidation_entries += lc.cache.invalidate_matching(
+                    prefix
+                )
             else:
-                lc.cache.invalidate_matching(prefix)
+                self.stats.invalidation_entries += lc.cache.invalidate_remote(
+                    prefix.matches
+                )
         self.stats.updates += 1
         return touched
 
@@ -253,6 +277,17 @@ class SpalRouter:
         obs.counter("router.remote_requests").value = self.stats.remote_requests
         obs.counter("router.remote_replies").value = self.stats.remote_replies
         obs.counter("router.updates").value = self.stats.updates
+        if self.stats.updates:
+            obs.counter("router.update_patches").value = self.stats.update_patches
+            obs.counter("router.update_rebuilds").value = (
+                self.stats.update_rebuilds
+            )
+            obs.counter("router.update_service_cycles").value = (
+                self.stats.update_service_cycles
+            )
+            obs.counter("router.invalidation_entries").value = (
+                self.stats.invalidation_entries
+            )
         return obs.snapshot()
 
     def cache_hit_rates(self) -> List[float]:

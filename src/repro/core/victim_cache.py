@@ -51,13 +51,20 @@ class VictimCache:
     def peek(self, address: int):
         return self._entries.get(address)
 
-    def discard_matching(self, predicate) -> int:
+    def discard_matching(self, predicate, sink=None) -> int:
         """Silently drop entries whose address satisfies ``predicate``
-        (selective invalidation — not counted as hits)."""
+        (selective invalidation — not counted as hits).  ``sink``, when a
+        list, collects the dropped addresses."""
         stale = [addr for addr in self._entries if predicate(addr)]
         for addr in stale:
             del self._entries[addr]
+        if sink is not None:
+            sink.extend(stale)
         return len(stale)
+
+    def addresses(self):
+        """Addresses currently resident (victim blocks are always complete)."""
+        return list(self._entries)
 
     def flush(self) -> None:
         self._entries.clear()

@@ -19,6 +19,7 @@ from .ablations import (
     run_oversubscription_ablation,
     run_scenario_matrix,
 )
+from .churn import run_churn
 from .failover import run_failover
 from .ipv6_storage import run_ipv6_storage
 from .lc_fill import run_lc_fill_sweep
@@ -57,6 +58,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "scenarios": run_scenario_matrix,
     "updates": run_update_sensitivity,
     "invalidation": run_invalidation_comparison,
+    "churn": run_churn,
     "trie-comparison": run_trie_comparison,
     "lc-fill": run_lc_fill_sweep,
     "ipv6": run_ipv6_storage,
@@ -93,6 +95,7 @@ __all__ = [
     "run_scenario_matrix",
     "run_update_sensitivity",
     "run_invalidation_comparison",
+    "run_churn",
     "run_trie_comparison",
     "run_lc_fill_sweep",
     "run_ipv6_storage",

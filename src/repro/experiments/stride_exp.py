@@ -1,4 +1,4 @@
-"""E17 — stride selection: the habit vs the optimum.
+"""E19 — stride selection: the habit vs the optimum.
 
 The paper's background (Sec. 2.1) notes the stride choice trades lookup
 speed against memory; the Lulea/DIR designs hard-code 16/8/8 and 24/8.
@@ -19,9 +19,9 @@ from .common import ExperimentResult, get_rt1, get_rt2
 
 
 def run_stride_optimization() -> ExperimentResult:
-    """E17: optimal fixed strides (DP) vs the habitual 16/8/8."""
+    """E19: optimal fixed strides (DP) vs the habitual 16/8/8."""
     result = ExperimentResult(
-        "E17",
+        "E19",
         "Optimal fixed strides (Srinivasan–Varghese DP) vs the 16/8/8 habit",
     )
     rows: List[Dict[str, object]] = []

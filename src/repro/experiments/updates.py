@@ -7,10 +7,12 @@ not work effectively if the routing table is updated incrementally and very
 frequently" but never quantifies the cost.  This experiment does: mean
 lookup time as a function of update rate, at 40 Gbps and ψ = 8.
 
-Update rates translate to flush intervals in cycles: at 5 ns/cycle, 20/s →
-one flush per 10M cycles (beyond our reduced window — effectively no flush),
-100/s → per 2M cycles, and the "very frequent" regime the paper warns about
-is swept up to 50k/s.
+Both runners drive the live churn pipeline
+(:func:`repro.routing.churn.generate_churn` +
+``SpalSimulator.run(updates=...)``): every swept rate is a real stream of
+timestamped announce/withdraw events applied to the forwarding state
+mid-run, so E10's numbers and E17's (:mod:`repro.experiments.churn`) share
+one mechanism — the only difference is the axis each sweeps.
 """
 
 from __future__ import annotations
@@ -19,9 +21,11 @@ from typing import Dict, List, Optional
 
 from ..analysis.tables import render_table
 from ..core.config import CacheConfig, SpalConfig
+from ..routing.churn import generate_churn
 from ..sim.spal_sim import SpalSimulator
 from .common import (
     ExperimentResult,
+    _plan_and_matchers,
     default_packets_per_lc,
     get_rt2,
     scale_cache,
@@ -32,7 +36,36 @@ from .common import (
 #: the regime the paper's flushing policy is said to break down in).
 UPDATE_RATES = (0, 20, 100, 1_000, 10_000, 50_000)
 
-CYCLES_PER_SECOND = int(1e9 / 5)  # 5 ns cycles
+
+def _churn_run(
+    table,
+    trace: str,
+    n_lcs: int,
+    beta: int,
+    n: int,
+    rate: int,
+    policy: str,
+    name: str,
+):
+    """One churn-driven simulation at ``rate`` updates/s under ``policy``.
+
+    The horizon estimate (mean interarrival 10 cycles at 40 Gbps) sizes
+    the churn window; rate 0 runs the plain churn-free simulator.
+    """
+    config = SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=beta))
+    plan, matchers = _plan_and_matchers("rt2", n_lcs)
+    sim = SpalSimulator(table, config, plan=plan, matchers=matchers)
+    streams = streams_for_trace(trace, n_lcs, n)
+    horizon = n * 10
+    kwargs = {}
+    if rate > 0:
+        kwargs["updates"] = generate_churn(
+            table, rate_per_s=rate, horizon_cycles=horizon, seed=rate
+        )
+        kwargs["update_policy"] = policy
+    return sim.run(
+        streams, warmup_packets=n // 10, name=name, **kwargs
+    )
 
 
 def run_update_sensitivity(
@@ -41,7 +74,7 @@ def run_update_sensitivity(
     cache_blocks: int = 4096,
     packets_per_lc: Optional[int] = None,
 ) -> ExperimentResult:
-    """E10: mean lookup time versus routing-update (flush) rate."""
+    """E10: mean lookup time versus routing-update rate (flush policy)."""
     result = ExperimentResult(
         "E10",
         f"Mean lookup time vs routing-update rate ({trace}, psi={n_lcs}; "
@@ -52,33 +85,22 @@ def run_update_sensitivity(
     beta = scale_cache(cache_blocks)
     rows: List[Dict[str, object]] = []
     for rate in UPDATE_RATES:
-        config = SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=beta))
-        sim = SpalSimulator(table, config)
-        streams = streams_for_trace(trace, n_lcs, n)
-        # Horizon estimate: mean interarrival 10 cycles at 40 Gbps.
-        horizon = n * 10
-        flushes = []
-        if rate > 0:
-            interval = CYCLES_PER_SECOND // rate
-            flushes = list(range(interval, horizon, interval))
-        run = sim.run(
-            streams,
-            flush_cycles=flushes,
-            warmup_packets=n // 10,
+        run = _churn_run(
+            table, trace, n_lcs, beta, n, rate, "flush",
             name=f"updates={rate}/s",
         )
         rows.append(
             {
                 "updates_per_s": rate,
-                "flushes_in_window": len(flushes),
+                "updates_in_window": run.update_events_applied,
                 "mean_cycles": round(run.mean_lookup_cycles, 3),
                 "hit_rate": round(run.overall_hit_rate, 4),
             }
         )
     result.rows = rows
     result.rendered = render_table(
-        ["updates_per_s", "flushes_in_window", "mean_cycles", "hit_rate"],
-        [[r[k] for k in ("updates_per_s", "flushes_in_window", "mean_cycles",
+        ["updates_per_s", "updates_in_window", "mean_cycles", "hit_rate"],
+        [[r[k] for k in ("updates_per_s", "updates_in_window", "mean_cycles",
                          "hit_rate")] for r in rows],
     )
     return result
@@ -94,13 +116,12 @@ def run_invalidation_comparison(
 
     At each update rate, the flush policy drops every LR-cache entry while
     selective invalidation drops only the entries the updated prefix
-    covers (drawn from a realistic churn-skewed update stream).  Selective
+    covers (the same churn-skewed update stream either way).  Selective
     invalidation keeps the hit rate — and therefore SPAL's speedup —
     roughly flat into the "very frequent update" regime the paper's
-    Sec. 3.2 caveat concerns.
+    Sec. 3.2 caveat concerns; E17 extends this two-policy slice with the
+    per-prefix REM variant and the update-rate × policy surface.
     """
-    from ..routing.updates import generate_updates
-
     result = ExperimentResult(
         "E10b",
         f"Flush vs selective invalidation under update load ({trace}, psi={n_lcs})",
@@ -108,26 +129,12 @@ def run_invalidation_comparison(
     table = get_rt2()
     n = packets_per_lc if packets_per_lc is not None else default_packets_per_lc()
     beta = scale_cache(cache_blocks)
-    horizon = n * 10
     rows: List[Dict[str, object]] = []
     for rate in (1_000, 10_000, 50_000):
-        interval = CYCLES_PER_SECOND // rate
-        cycles = list(range(interval, horizon, interval))
-        updates = list(generate_updates(table, len(cycles), seed=rate))
         for policy in ("flush", "selective"):
-            config = SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=beta))
-            sim = SpalSimulator(table, config)
-            streams = streams_for_trace(trace, n_lcs, n)
-            kwargs = {}
-            if policy == "flush":
-                kwargs["flush_cycles"] = cycles
-            else:
-                kwargs["update_events"] = [
-                    (t, u.prefix) for t, u in zip(cycles, updates)
-                ]
-            run = sim.run(
-                streams, warmup_packets=n // 10,
-                name=f"{policy}@{rate}", **kwargs,
+            run = _churn_run(
+                table, trace, n_lcs, beta, n, rate, policy,
+                name=f"{policy}@{rate}",
             )
             rows.append(
                 {

@@ -57,6 +57,7 @@ EVENT_NAMES = frozenset(
         "drop",
         "flush",
         "fault",
+        "update",
     }
 )
 

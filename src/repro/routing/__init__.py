@@ -17,6 +17,7 @@ from .synthetic import (
 from .ipv6 import IPV6_TIERS, ipv6_addresses_matching, make_ipv6_table
 from .aggregate import aggregate_table, aggregation_ratio
 from .updates import RouteUpdate, UpdateMix, generate_updates
+from .churn import ChurnEvent, ChurnSchedule, generate_churn
 from . import distributions, textio
 
 __all__ = [
@@ -45,6 +46,9 @@ __all__ = [
     "RouteUpdate",
     "UpdateMix",
     "generate_updates",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "generate_churn",
     "aggregate_table",
     "aggregation_ratio",
     "distributions",

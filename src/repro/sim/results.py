@@ -42,6 +42,18 @@ class SimulationResult:
     #: and their mean lookup latency (the failover transient cost).
     failover_packets: int = 0
     failover_mean_cycles: float = 0.0
+    #: Live-churn accounting, populated only on ``run(updates=...)`` runs
+    #: with a non-empty ChurnSchedule; churn-free runs keep the defaults.
+    update_events_applied: int = 0
+    update_patches: int = 0
+    update_rebuilds: int = 0
+    #: FE cycles spent servicing updates (lookups queued behind them).
+    update_service_cycles: int = 0
+    #: Update→invalidate fabric messages, and cache entries they dropped.
+    invalidation_messages: int = 0
+    invalidation_entries_dropped: int = 0
+    #: Misses on addresses whose cache entry a churn invalidation dropped.
+    churn_misses: int = 0
     #: The run's :meth:`repro.obs.MetricsRegistry.snapshot` — every
     #: registry instrument (counters, gauges, histogram summaries) keyed by
     #: rendered name, e.g. ``"cache.lr.evictions{kind=REM,lc=3}"``.
@@ -167,4 +179,16 @@ class SimulationResult:
         if self.failover_packets:
             out["failover_packets"] = self.failover_packets
             out["failover_mean_cycles"] = round(self.failover_mean_cycles, 3)
+        # Churn keys only appear on runs that applied updates, keeping
+        # churn-free summaries byte-identical to pre-churn-layer runs.
+        if self.update_events_applied:
+            out["updates_applied"] = self.update_events_applied
+            out["update_patches"] = self.update_patches
+            out["update_rebuilds"] = self.update_rebuilds
+            out["update_service_cycles"] = self.update_service_cycles
+            out["invalidation_messages"] = self.invalidation_messages
+            out["invalidation_entries_dropped"] = (
+                self.invalidation_entries_dropped
+            )
+            out["churn_misses"] = self.churn_misses
         return out

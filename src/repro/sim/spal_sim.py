@@ -11,7 +11,24 @@ model:
   fabric to the home LC, where the flow repeats;
 * replies traverse the fabric back, fill the reserved entry (M=REM) and
   release any packets parked on its waiting list;
-* routing-table updates flush every LR-cache.
+* routing-table updates flush every LR-cache — or, with
+  ``run(updates=...)``, apply incrementally with selective invalidation.
+
+**Live route churn.**  :meth:`SpalSimulator.run` accepts a
+:class:`~repro.routing.churn.ChurnSchedule` whose timestamped updates
+interleave with packet events (an update at cycle T applies before T's
+arrivals).  Each update is routed to the pattern-holder LC(s) via the
+partition plan, applied to the per-LC matcher incrementally, and charged
+as FE busy time (lookups queue behind update service).  Cache coherence
+follows the armed ``update_policy`` — ``"flush"`` (the paper's policy),
+``"selective"`` (drop only entries the prefix covers, everywhere) or
+``"rem"`` (full prefix invalidation at holder LCs, REM-only elsewhere).
+Invalidation applies *atomically at the update cycle* — the conservative
+invalidate-before-use model, so no lookup can ever return a stale next
+hop — while the update→invalidate messages are still charged through the
+fabric model for latency/port accounting.  Churn runs are deterministic
+(bit-identical across repeats and with ``REPRO_BATCH=0``), and an empty
+schedule reproduces the churn-free simulator exactly.
 
 Implementation is event-driven over :class:`repro.sim.engine.EventQueue`;
 all integer-cycle semantics (port/FE serialization, fabric latency and port
@@ -48,7 +65,7 @@ from ..batching import MAX_KERNEL_WIDTH, batch_enabled
 from ..core.config import SpalConfig
 from ..core.faults import FaultSchedule
 from ..core.lr_cache import LOC, REM, LRCache
-from ..core.partition import PartitionPlan, partition_table
+from ..core.partition import PartitionPlan, apply_route_update, partition_table
 from ..errors import (
     LookupTimeoutError,
     SimulationError,
@@ -56,6 +73,7 @@ from ..errors import (
 )
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Tracer
+from ..routing.churn import ChurnSchedule
 from ..routing.table import RoutingTable
 from ..tries.reference import HashReferenceMatcher
 from ..traffic.packets import arrival_times
@@ -79,6 +97,7 @@ class _Packet:
         "dropped",
         "sent_at",
         "pid",
+        "served",
     )
 
     def __init__(self, dest: int, arrival_lc: int, arrival_time: int):
@@ -94,6 +113,7 @@ class _Packet:
         self.dropped = None      # drop reason, or None while in flight
         self.sent_at = -1        # cycle the current remote request departed
         self.pid = -1            # trace packet id (-1 when tracing is off)
+        self.served = None       # next hop actually delivered (None = dropped)
 
 
 class _RemoteWaiter:
@@ -270,6 +290,19 @@ class SpalSimulator:
         #: ``plan.fail_lc`` from an update hook) invalidates the
         #: precomputed homes and _home_of recomputes them scalar.
         self._plan_epoch = self.plan.epoch if self.plan is not None else 0
+        # -- live-churn state (inert without run(updates=...)) ------------
+        self._updates_armed = False
+        self._update_policy = "selective"
+        #: Per-LC set of addresses whose cache entry a churn invalidation
+        #: dropped; membership at miss time attributes the miss to churn.
+        self._churn_invalidated: Optional[List[set]] = None
+        self.update_events_applied = 0
+        self.update_patches = 0
+        self.update_rebuilds = 0
+        self.update_service_cycles = 0
+        self.invalidation_messages = 0
+        self.invalidation_entries_dropped = 0
+        self.churn_misses = 0
 
     # -- event handlers ------------------------------------------------------
 
@@ -373,6 +406,7 @@ class SpalSimulator:
             else:
                 if tr is not None:
                     tr.record("cache.hit", now, lc=lc, pid=pkt.pid)
+                pkt.served = entry.next_hop
                 self._complete(pkt, now + 1)
             return
         self._miss(pkt, lc, now)
@@ -381,6 +415,7 @@ class SpalSimulator:
         tr = self._trace
         if tr is not None:
             tr.record("cache.miss", now, lc=lc, pid=pkt.pid)
+        self._note_churn_miss(pkt.dest, lc)
         cache = self.caches[lc]
         home = self._home_of(pkt, lc)
         local = home == lc
@@ -486,6 +521,7 @@ class SpalSimulator:
             if entry is not None and entry is not home_entry and entry.waiting:
                 waiters = self.caches[lc].fill(entry, hop)  # type: ignore[union-attr]
                 self._release(waiters, lc, hop, now)
+            pkt.served = hop
             self._complete(pkt, now + 1)
 
     def _release(self, waiters: list, lc: int, hop: int, now: int) -> None:
@@ -495,6 +531,7 @@ class SpalSimulator:
                 wpkt = waiter.packet
                 self._send(lc, wpkt.arrival_lc, now + 1, self._reply, wpkt, hop)
             else:
+                waiter.served = hop
                 self._complete(waiter, now + 1)
 
     def _remote_request(self, pkt: _Packet, home: int) -> None:
@@ -546,6 +583,7 @@ class SpalSimulator:
                     entry.next_hop,
                 )
             return
+        self._note_churn_miss(pkt.dest, home)
         # Miss at the home LC: reserve a LOC entry, park the remote waiter
         # on it, and run the FE.
         home_entry = cache.allocate(pkt.dest, LOC)
@@ -581,6 +619,7 @@ class SpalSimulator:
             elif entry is None and not self.config.early_recording:
                 cache.insert_complete(pkt.dest, hop, REM)
         if pkt.complete_time < 0:
+            pkt.served = hop
             self._complete(pkt, now + 1)
 
     def _complete(self, pkt: _Packet, when: int) -> None:
@@ -783,21 +822,126 @@ class SpalSimulator:
         if tr is not None:
             tr.record("flush", self.queue.now, kind="selective")
 
+    # -- live route churn ----------------------------------------------------
+
+    def _note_churn_miss(self, dest: int, lc: int) -> None:
+        """Attribute a cache miss to churn if this LC's entry for ``dest``
+        was dropped by an update invalidation (one miss per dropped entry)."""
+        ci = self._churn_invalidated
+        if ci is not None:
+            s = ci[lc]
+            if dest in s:
+                s.discard(dest)
+                self.churn_misses += 1
+                self._m_churn_miss.value += 1
+
+    def _apply_churn_update(self, update) -> None:
+        """Apply one timestamped routing update from a ChurnSchedule.
+
+        The update is routed to its pattern-holder LC(s) via the partition
+        plan, applied to each holder's matcher incrementally (patch or
+        rebuild, per the structure), and its service time charged as FE
+        busy time — lookups arriving during the update queue behind it.
+        Cache invalidation then follows the armed policy, applied
+        *atomically at this cycle* (the conservative invalidate-before-use
+        model: no lookup can ever observe a stale next hop), while the
+        update→invalidate messages to the other LCs are still pushed
+        through the fabric for latency/port accounting.
+        """
+        now = self.queue.now
+        prefix = update.prefix
+        hop = update.next_hop
+        self.update_events_applied += 1
+        self._m_updates.value += 1
+        touched = apply_route_update(self.plan, prefix, hop)
+        for lc in touched:
+            res = self._matchers[lc].apply_update(prefix, hop)
+            cycles = res.service_cycles
+            self.update_service_cycles += cycles
+            self._m_update_cycles.value += cycles
+            if res.kind == "patch":
+                self.update_patches += 1
+                self._m_update_patches.value += 1
+            else:
+                self.update_rebuilds += 1
+                self._m_update_rebuilds.value += 1
+            # Update service occupies the holder's FE like a lookup would.
+            self.fes[lc].acquire(now, cycles)
+        if self._oracle is not None:
+            self._oracle.apply_update(prefix, hop)
+        tr = self._trace
+        if tr is not None:
+            tr.record(
+                "update", now, lc=touched[0] if touched else -1,
+                kind="withdraw" if hop is None else "announce",
+                prefix=str(prefix), touched=len(touched),
+            )
+        if not touched:
+            return
+        policy = self._update_policy
+        ci = self._churn_invalidated
+        dropped = 0
+        if policy == "flush":
+            for i, cache in enumerate(self.caches):
+                if cache is None:
+                    continue
+                resident = cache.resident_addresses()
+                ci[i].update(resident)
+                dropped += len(resident)
+                cache.flush()
+        else:
+            touched_set = set(touched)
+            for i, cache in enumerate(self.caches):
+                if cache is None:
+                    continue
+                sink: list = []
+                if policy == "selective" or i in touched_set:
+                    cache.invalidate_matching(prefix, sink=sink)
+                else:
+                    # A LOC entry under the prefix only exists at an LC
+                    # holding the pattern; elsewhere REM copies suffice.
+                    cache.invalidate_remote(prefix.matches, sink=sink)
+                ci[i].update(sink)
+                dropped += len(sink)
+        self.flushes += 1
+        self._m_flushes.value += 1
+        if tr is not None:
+            tr.record("flush", now, kind=policy)
+        self.invalidation_entries_dropped += dropped
+        self._m_inval_dropped.value += dropped
+        # One update→invalidate message from the primary holder to every
+        # other LC; the invalidation itself applied atomically above.
+        origin = touched[0]
+        msgs = 0
+        for dst in range(self.config.n_lcs):
+            if dst == origin:
+                continue
+            self._transfer(origin, dst, now)
+            msgs += 1
+        self.invalidation_messages += msgs
+        self._m_inval_msgs.value += msgs
+
     def _precompute_streams(
         self, streams: Sequence[np.ndarray]
     ) -> Optional[List[tuple]]:
-        """Resolve every packet's home LC and FE result up front.
+        """Resolve every packet's home LC (and, churn-free, its FE result)
+        up front.
 
-        Forwarding tables are immutable during :meth:`run` (flushes and
-        selective invalidations only touch caches), so the per-packet
-        ``(home, hop)`` pair is known before the first event fires.  One
-        vectorized :meth:`PartitionPlan.home_lc_batch` plus per-home-LC
+        Without ``updates=...`` the forwarding tables are immutable during
+        :meth:`run` (flushes and selective invalidations only touch
+        caches), so the per-packet ``(home, hop)`` pair is known before the
+        first event fires.  One vectorized
+        :meth:`PartitionPlan.home_lc_batch` plus per-home-LC
         :meth:`lookup_batch` calls replace millions of scalar lookups in
         the event handlers; with ``verify=True`` the whole stream is
-        checked against the oracle here in one batched pass.  Matcher
-        access counters are restored afterwards so precomputation stays
-        side-effect free.  Returns None (scalar handlers take over) when
-        batching is disabled or the address width exceeds the kernels.
+        checked against the oracle here in one batched pass.  Under live
+        churn the tables *do* mutate mid-run, so only the homes (a function
+        of the immutable control bits) are precomputed and every FE result
+        resolves scalar at lookup time — keeping fast-path-on and -off runs
+        bit-identical.  Matcher access counters are restored afterwards so
+        precomputation stays side-effect free.  Returns None (scalar
+        handlers take over) when batching is disabled or the address width
+        exceeds the kernels.
         """
         if not batch_enabled() or self.table.width > MAX_KERNEL_WIDTH:
             return None
@@ -813,6 +957,9 @@ class SpalSimulator:
                 homes = self.plan.home_lc_batch(dests)
             else:
                 homes = np.full(len(dests), lc, dtype=np.int64)
+            if self._updates_armed:
+                out.append((homes.tolist(), None))
+                continue
             hops = np.empty(len(dests), dtype=np.int64)
             for h in np.unique(homes):
                 mask = homes == h
@@ -854,6 +1001,8 @@ class SpalSimulator:
         warmup_packets: int = 0,
         name: str = "spal",
         faults: Optional[FaultSchedule] = None,
+        updates: Optional[ChurnSchedule] = None,
+        update_policy: str = "selective",
     ) -> SimulationResult:
         """Run the router over per-LC destination streams.
 
@@ -863,8 +1012,8 @@ class SpalSimulator:
         links; Sec. 5 notes Cisco-style aggregation up to 10 Gbps per LC).
         ``flush_cycles`` injects routing-update cache flushes at the given
         cycles (the paper's policy); ``update_events`` is a sequence of
-        ``(cycle, prefix)`` pairs invalidated *selectively* instead — the
-        extension for frequent incremental updates.
+        ``(cycle, prefix)`` pairs invalidated *selectively* instead — a
+        cache-only shortcut that predates the full churn pipeline below.
 
         ``warmup_packets`` excludes each LC's first packets from the
         latency statistics (they are still simulated): the simulator starts
@@ -877,6 +1026,18 @@ class SpalSimulator:
         cycle T is applied before T's packet arrivals.  An empty (or
         absent) schedule leaves the run bit-identical to the fault-free
         simulator.
+
+        ``updates`` scripts live route churn (see
+        :class:`~repro.routing.churn.ChurnSchedule` and the module
+        docstring): each timestamped announce/withdraw is applied to the
+        holder LCs' forwarding state *during* the run, charged as FE
+        service time, and followed by cache invalidation per
+        ``update_policy`` — ``"flush"`` (the paper's full flush),
+        ``"selective"`` (prefix-matching entries everywhere) or ``"rem"``
+        (prefix-matching at holders, REM-only elsewhere).  An update at
+        cycle T applies before T's arrivals (and after T's fault events).
+        Requires ``partitioned=True``; an empty (or absent) schedule leaves
+        the run bit-identical to the churn-free simulator.
         """
         if getattr(self, "_ran", False):
             raise SimulationError(
@@ -914,6 +1075,50 @@ class SpalSimulator:
             # order makes the fault apply ahead of that cycle's arrivals.
             for cycle, kind, lc in faults.lc_events():
                 self.queue.schedule(cycle, self._apply_lc_fault, kind, lc)
+        if updates is not None and len(updates) > 0:
+            if update_policy not in ("flush", "selective", "rem"):
+                raise SimulationError(
+                    "update_policy must be 'flush', 'selective' or 'rem', "
+                    f"got {update_policy!r}"
+                )
+            if not self.partitioned or self.plan is None:
+                raise SimulationError(
+                    "updates=... requires partitioned=True (churn routes "
+                    "each update to its home LCs via the partition plan)"
+                )
+            updates.validate(self.table)
+            self._updates_armed = True
+            self._update_policy = update_policy
+            # The run mutates forwarding state: work on private copies so
+            # injected/memoized plans, matchers and oracles come back
+            # untouched (tables are deep-copied, matchers rebuilt over the
+            # copies, and the oracle re-derived from the full table).
+            self.plan = self.plan.copy_for_updates()
+            self._home = self.plan.home_lc
+            self._matchers = [
+                HashReferenceMatcher(t) for t in self.plan.tables
+            ]
+            if self._oracle is not None:
+                self._oracle = HashReferenceMatcher(self.table)
+            self._churn_invalidated = [set() for _ in range(self.config.n_lcs)]
+            self._m_updates = self.obs.counter("sim.updates.applied")
+            self._m_update_cycles = self.obs.counter(
+                "sim.updates.service_cycles"
+            )
+            self._m_update_patches = self.obs.counter("sim.updates.patches")
+            self._m_update_rebuilds = self.obs.counter("sim.updates.rebuilds")
+            self._m_inval_msgs = self.obs.counter(
+                "sim.updates.invalidation_msgs"
+            )
+            self._m_inval_dropped = self.obs.counter(
+                "sim.updates.entries_dropped"
+            )
+            self._m_churn_miss = self.obs.counter("sim.updates.churn_misses")
+            # After faults, before packets: at equal cycles an update
+            # applies after that cycle's fault events and ahead of its
+            # packet arrivals (stable heap order).
+            for ev in updates.events():
+                self.queue.schedule(ev.cycle, self._apply_churn_update, ev.update)
         self._plan_epoch = self.plan.epoch if self.plan is not None else 0
         t0 = time.perf_counter()
         precomputed = self._precompute_streams(streams)
@@ -937,7 +1142,8 @@ class SpalSimulator:
                     next_pid += 1
                 if homes_hops is not None:
                     pkt.home = homes_hops[0][i]
-                    pkt.hop = homes_hops[1][i]
+                    if homes_hops[1] is not None:
+                        pkt.hop = homes_hops[1][i]
                 self.queue.schedule(int(t), self._arrive, pkt, lc)
             total += len(stream)
         if flush_cycles:
@@ -1025,6 +1231,19 @@ class SpalSimulator:
                 result.failover_mean_cycles = float(
                     sum(failover) / len(failover)
                 )
+        if self._updates_armed:
+            # Churn metrics, populated only when run(updates=...) armed the
+            # pipeline: churn-free runs keep the dataclass defaults and
+            # stay bit-identical to the pre-churn simulator.
+            result.update_events_applied = self.update_events_applied
+            result.update_patches = self.update_patches
+            result.update_rebuilds = self.update_rebuilds
+            result.update_service_cycles = self.update_service_cycles
+            result.invalidation_messages = self.invalidation_messages
+            result.invalidation_entries_dropped = (
+                self.invalidation_entries_dropped
+            )
+            result.churn_misses = self.churn_misses
         self._fill_registry(horizon)
         result.metrics_snapshot = self.obs.snapshot()
         self.phase_seconds["collect"] = time.perf_counter() - t0

@@ -6,6 +6,7 @@ from .base import (
     SRAM_ACCESS_NS,
     AccessCounter,
     LongestPrefixMatcher,
+    UpdateResult,
     check_matcher,
     matching_cycles,
     matching_time_ns,
@@ -26,6 +27,7 @@ PAPER_TRIES = {"DP": DPTrie, "LL": LuleaTrie, "LC": LCTrie}
 __all__ = [
     "AccessCounter",
     "LongestPrefixMatcher",
+    "UpdateResult",
     "check_matcher",
     "matching_cycles",
     "matching_time_ns",

@@ -77,6 +77,29 @@ def matching_cycles(mean_accesses: float) -> int:
     return math.ceil(matching_time_ns(mean_accesses) / CYCLE_NS)
 
 
+@dataclass(frozen=True)
+class UpdateResult:
+    """Cost report for one incremental matcher update.
+
+    ``kind`` is ``"patch"`` (localized surgery) or ``"rebuild"`` (the whole
+    structure was reconstructed); ``work`` counts the memory words written.
+    Service time follows the paper's FE cost model — one SRAM access per
+    word written plus a fixed code-execution overhead — so update service
+    and lookup matching share one clock.
+    """
+
+    kind: str
+    work: int
+
+    @property
+    def service_ns(self) -> float:
+        return self.work * SRAM_ACCESS_NS + CODE_EXEC_NS
+
+    @property
+    def service_cycles(self) -> int:
+        return math.ceil(self.service_ns / CYCLE_NS)
+
+
 class LongestPrefixMatcher(ABC):
     """Abstract LPM structure built from a :class:`RoutingTable`."""
 
@@ -100,6 +123,20 @@ class LongestPrefixMatcher(ABC):
     @abstractmethod
     def storage_bytes(self) -> int:
         """SRAM footprint under this structure's byte model."""
+
+    def apply_update(
+        self, prefix: Prefix, next_hop: Optional[NextHop]
+    ) -> "UpdateResult":
+        """Apply one routing update in place (``next_hop=None`` withdraws).
+
+        Returns an :class:`UpdateResult` describing the work done.  The
+        default raises :class:`NotImplementedError`; structures without an
+        incremental path rely on callers falling back to a full rebuild
+        (``ForwardingEngine.apply_update`` does exactly that).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no incremental update path"
+        )
 
     # -- batch lookups -----------------------------------------------------
 

@@ -17,7 +17,7 @@ import numpy as np
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import BatchKernel, LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher, UpdateResult
 
 NODE_BYTES = 12
 
@@ -92,6 +92,14 @@ class BinaryTrie(LongestPrefixMatcher):
         self.route_count -= 1
         self._invalidate_batch()
         return hop
+
+    def apply_update(self, prefix: Prefix, next_hop) -> UpdateResult:
+        """Native incremental path: one root-to-leaf walk either way."""
+        if next_hop is None:
+            self.delete(prefix)
+        else:
+            self.insert(prefix, next_hop)
+        return UpdateResult("patch", prefix.length + 1)
 
     # -- queries -----------------------------------------------------------
 

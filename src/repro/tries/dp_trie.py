@@ -35,7 +35,7 @@ from typing import Iterator, Optional
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import LongestPrefixMatcher
+from .base import LongestPrefixMatcher, UpdateResult
 
 NODE_BYTES = 21  # 1-byte index + 5 × 4-byte pointers (paper's model)
 
@@ -156,6 +156,19 @@ class DPTrie(LongestPrefixMatcher):
         self.route_count -= 1
         self._splice(parent, pbit, node)
         return hop
+
+    def apply_update(self, prefix: Prefix, next_hop) -> UpdateResult:
+        """Native incremental path: one path-compressed walk either way.
+
+        ``prefix.length + 1`` bounds the nodes touched (path compression
+        visits at most one node per prefix bit, plus the root).
+        """
+        if next_hop is None:
+            self.delete(prefix)
+        else:
+            self.insert(prefix, next_hop)
+        self._invalidate_batch()
+        return UpdateResult("patch", prefix.length + 1)
 
     def _splice(self, parent: Optional[_DPNode], pbit: int, node: _DPNode) -> None:
         """Remove ``node`` if it is now redundant (routeless leaf or

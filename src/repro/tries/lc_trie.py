@@ -37,14 +37,14 @@ Storage model (paper Sec. 4, fill factor 0.25): 4 bytes per trie node
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import BatchKernel, LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher, UpdateResult
 
 TRIE_NODE_BYTES = 4
 BASE_ENTRY_BYTES = 8
@@ -90,12 +90,17 @@ class LCTrie(LongestPrefixMatcher):
         self.prefix_table: List[_Entry] = []
         self._child_lists: List[List[int]] = []
         self._default_hop: NextHop = NO_ROUTE
-        self._build(table)
+        # Master route state, kept in sync by apply_update so structural
+        # rebuilds need no external table.
+        self._routes: Dict[Prefix, NextHop] = dict(table.routes())
+        self.update_patches = 0
+        self.update_rebuilds = 0
+        self._build(list(self._routes.items()))
 
     # -- construction --------------------------------------------------------
 
-    def _build(self, table: RoutingTable) -> None:
-        routes = sorted(table.routes(), key=lambda r: (r[0].value, r[0].length))
+    def _build(self, route_list: List[Tuple[Prefix, NextHop]]) -> None:
+        routes = sorted(route_list, key=lambda r: (r[0].value, r[0].length))
         # Split into leaves (prefix-free) and internal prefixes.  Sorted
         # order puts a covering prefix immediately before the covered ones,
         # so a stack of open ancestors suffices.
@@ -143,7 +148,9 @@ class LCTrie(LongestPrefixMatcher):
         # covering entries for empty child slots.
         from .binary_trie import BinaryTrie
 
-        self._aux = BinaryTrie(table)
+        self._aux = BinaryTrie(width=self.width)
+        for prefix, hop in routes:
+            self._aux.insert(prefix, hop)
         self._covering_cache: dict[tuple, int] = {}
         self._build_node(0, len(leaves), 0, first_call=True)
         del self._aux
@@ -291,6 +298,74 @@ class LCTrie(LongestPrefixMatcher):
         self.base.append(entry)
         self._covering_cache[key] = index
         return index
+
+    # -- incremental updates ----------------------------------------------------
+
+    def _patch_next_hop(self, prefix: Prefix, next_hop: NextHop) -> int:
+        """Rewrite the stored hop of every copy of ``prefix`` in place.
+
+        Covering entries duplicate real routes into extra base slots, so the
+        scan patches every entry whose (value, length) matches; the array
+        shape, chains and node structure are untouched.  Returns the number
+        of words written.
+        """
+        if prefix.length == 0:
+            self._default_hop = next_hop
+            return 1
+        work = 0
+        for entry in self.base:
+            if entry.length == prefix.length and entry.value == prefix.value:
+                entry.next_hop = next_hop
+                work += 1
+        for entry in self.prefix_table:
+            if entry.length == prefix.length and entry.value == prefix.value:
+                entry.next_hop = next_hop
+                work += 1
+        return max(work, 1)
+
+    def _rebuild(self) -> UpdateResult:
+        self.nodes = []
+        self.base = []
+        self.prefix_table = []
+        self._child_lists = []
+        self._default_hop = NO_ROUTE
+        self._build(list(self._routes.items()))
+        self.update_rebuilds += 1
+        work = len(self.nodes) + len(self.base) + len(self.prefix_table)
+        return UpdateResult("rebuild", work)
+
+    def apply_update(
+        self, prefix: Prefix, next_hop: Optional[NextHop]
+    ) -> UpdateResult:
+        """Patch-or-rebuild (``next_hop=None`` withdraws).
+
+        A next-hop change for an existing route leaves the trie shape intact
+        — patch every stored copy in place.  Announces and withdrawals change
+        the base vector (the flat arrays have no seams to splice), so they
+        rebuild immediately; deferring them would serve stale routes.  This
+        deviates from the Lulea chunk model deliberately: LC-trie nodes pack
+        into one flat array with covering-entry duplication, so there is no
+        chunk boundary to patch behind.
+        """
+        if prefix.width != self.width:
+            raise TrieError(
+                f"prefix width {prefix.width} != trie width {self.width}"
+            )
+        if next_hop is not None and prefix in self._routes:
+            self._routes[prefix] = next_hop
+            work = self._patch_next_hop(prefix, next_hop)
+            self.update_patches += 1
+            self._invalidate_batch()
+            return UpdateResult("patch", work)
+        if next_hop is None:
+            if prefix not in self._routes:
+                raise TrieError(f"no route for {prefix}")
+            del self._routes[prefix]
+        else:
+            self._routes[prefix] = next_hop
+        result = self._rebuild()
+        self._invalidate_batch()
+        return result
 
     # -- lookup ----------------------------------------------------------------
 

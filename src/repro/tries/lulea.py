@@ -24,8 +24,14 @@ sparse chunk costs 2 (position block + pointer); a dense chunk 3; a very
 dense chunk 4.  Worst case is therefore 12, matching the original paper; the
 measured mean on backbone-like tables lands near SPAL's 6.2–6.6.
 
-The structure is static: routing updates rebuild it (the SPAL paper flushes
-caches on update and rebuilds forwarding state off the critical path).
+Routing updates take a chunk-level patch-or-rebuild path
+(:meth:`LuleaTrie.apply_update`): an update whose prefix is deeper than 16
+bits and lands under an existing level-1 chunk pointer rebuilds just that
+chunk subtree and swaps one pointer-array entry; anything that would change
+the level-1 head structure — shallow prefixes, or the first deep route under
+a previously chunk-less slot — rebuilds the whole structure, as does
+crossing a dirty-chunk threshold (patched-out chunks are leaked, not
+compacted, so fragmentation is bounded by a periodic full rebuild).
 
 Any width of the form 16 + 8k is supported: IPv4 uses the original 16/8/8
 levels; IPv6 (width 128) extends the chunk recursion to 16/8/8/.../8 — the
@@ -42,7 +48,7 @@ import numpy as np
 from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import BatchKernel, LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher, UpdateResult
 
 #: Chunk classification thresholds from the original paper.
 SPARSE_MAX_HEADS = 8
@@ -97,7 +103,25 @@ class LuleaTrie(LongestPrefixMatcher):
         self._maptable: List[List[int]] = []
         self._mask_rows: Dict[int, int] = {}
         self._chunks: List[_Chunk] = []
-        self._build(table)
+        # Master route state, kept in sync by apply_update so rebuilds need
+        # no external table: level-1 routes, and deep routes by top-16 group.
+        self._shallow: Dict[Prefix, NextHop] = {}
+        self._deep: Dict[int, Dict[Prefix, NextHop]] = {}
+        for prefix, hop in table.routes():
+            if prefix.length <= _L1_STRIDE:
+                self._shallow[prefix] = hop
+            else:
+                self._deep.setdefault(
+                    prefix.value >> (self.width - _L1_STRIDE), {}
+                )[prefix] = hop
+        #: Chunks orphaned by pointer patches since the last full rebuild.
+        self._leaked_chunks = 0
+        #: Fraction of live chunks that may leak before a patch forces a
+        #: full rebuild (the dirty-chunk threshold of the cost model).
+        self.rebuild_threshold = 0.25
+        self.update_patches = 0
+        self.update_rebuilds = 0
+        self._build()
 
     # -- construction -------------------------------------------------------
 
@@ -116,27 +140,25 @@ class LuleaTrie(LongestPrefixMatcher):
             self._mask_rows[mask] = row
         return row
 
-    def _build(self, table: RoutingTable) -> None:
-        # Group routes by how deep they reach.  Level-1 slot values come from
-        # routes of length <= 16; deeper routes are grouped by their top 16
-        # bits into level-2 chunks, and within those by top 24 bits into
-        # level-3 chunks.
-        shallow: List[Tuple[Prefix, NextHop]] = []
-        by_top16: Dict[int, List[Tuple[Prefix, NextHop]]] = {}
-        for prefix, hop in table.routes():
-            if prefix.length <= _L1_STRIDE:
-                shallow.append((prefix, hop))
-            else:
-                by_top16.setdefault(
-                    prefix.value >> (self.width - _L1_STRIDE), []
-                ).append((prefix, hop))
+    def _build(self) -> None:
+        # Level-1 slot values come from routes of length <= 16 (_shallow);
+        # deeper routes are grouped by their top 16 bits (_deep) into level-2
+        # chunks, and within those by top 24 bits into level-3 chunks.
+        self._maptable = []
+        self._mask_rows = {}
+        self._chunks = []
+        self._leaked_chunks = 0
 
-        slots = self._paint_slots(_L1_STRIDE, 0, 0, shallow, NO_ROUTE)
-        for top16, routes in sorted(by_top16.items()):
+        slots = self._paint_slots(
+            _L1_STRIDE, 0, 0, list(self._shallow.items()), NO_ROUTE
+        )
+        for top16, routes in sorted(self._deep.items()):
+            if not routes:  # group emptied by withdrawals
+                continue
             inherited = slots[top16]
             slots[top16] = _encode_chunk(
                 self._build_chunk(
-                    routes,
+                    list(routes.items()),
                     top16 << (self.width - _L1_STRIDE),
                     _L1_STRIDE,
                     (inherited >> 1) - 1,
@@ -264,6 +286,115 @@ class LuleaTrie(LongestPrefixMatcher):
             heads_since_base += bin(mask).count("1")
             codewords.append((row, offset))
         return codewords, bases, ptrs
+
+    # -- incremental updates --------------------------------------------------
+
+    def _l1_slot(self, ix: int) -> Tuple[int, int]:
+        """Decode level-1 slot ``ix`` to (encoded value, pointer index) —
+        the read half of :meth:`lookup`'s level-1 step."""
+        mask_i = ix >> 4
+        row, offset = self._l1_codewords[mask_i]
+        base = self._l1_bases[mask_i >> 2]
+        pix = base + offset + self._maptable[row][ix & 15] - 1
+        return self._l1_ptrs[pix], pix
+
+    def _shallow_lpm(self, top16: int) -> NextHop:
+        """LPM over the shallow routes at slot ``top16`` — the inherited
+        value a chunk under that slot falls back to."""
+        address = top16 << (self.width - _L1_STRIDE)
+        best = NO_ROUTE
+        best_len = -1
+        for prefix, hop in self._shallow.items():
+            if prefix.length > best_len and prefix.matches(address):
+                best = hop
+                best_len = prefix.length
+        return best
+
+    def _subtree_size(self, index: int) -> int:
+        """Chunks reachable from chunk ``index`` (itself included)."""
+        count = 1
+        for ptr in self._chunks[index].ptrs:
+            if ptr & 1:
+                count += self._subtree_size(ptr >> 1)
+        return count
+
+    def _patch(self, top16: int) -> Optional[UpdateResult]:
+        """Rebuild just the chunk subtree under level-1 slot ``top16`` and
+        swap the pointer-array entry.  Returns None when only a full rebuild
+        is correct (no existing chunk: the level-1 head structure would
+        change) or worthwhile (dirty-chunk threshold crossed)."""
+        if self._chunks and self._leaked_chunks >= max(
+            SPARSE_MAX_HEADS, int(self.rebuild_threshold * len(self._chunks))
+        ):
+            return None
+        encoded, pix = self._l1_slot(top16)
+        if not encoded & 1:
+            return None
+        # A chunk pointer is unique to its top-16 group, so its head covers
+        # exactly slot ``top16`` and the pointer entry can be swapped alone.
+        leaked = self._subtree_size(encoded >> 1)
+        routes = self._deep.get(top16) or {}
+        if routes:
+            before = len(self._chunks)
+            new_index = self._build_chunk(
+                list(routes.items()),
+                top16 << (self.width - _L1_STRIDE),
+                _L1_STRIDE,
+                self._shallow_lpm(top16),
+            )
+            created = len(self._chunks) - before
+            self._l1_ptrs[pix] = _encode_chunk(new_index)
+            work = created * (1 << _CHUNK_STRIDE) + 1
+        else:
+            # Last deep route under the slot withdrawn: fall back to the
+            # shallow LPM value (a redundant head entry, harmless).
+            self._l1_ptrs[pix] = _encode_hop(self._shallow_lpm(top16))
+            work = 1
+        self._leaked_chunks += leaked
+        self.update_patches += 1
+        return UpdateResult("patch", work)
+
+    def _full_rebuild(self) -> UpdateResult:
+        self._build()
+        self.update_rebuilds += 1
+        work = (1 << _L1_STRIDE) + len(self._chunks) * (1 << _CHUNK_STRIDE)
+        return UpdateResult("rebuild", work)
+
+    def apply_update(
+        self, prefix: Prefix, next_hop: Optional[NextHop]
+    ) -> UpdateResult:
+        """Chunk-level patch-or-rebuild (``next_hop=None`` withdraws).
+
+        Deep updates (length > 16) under an existing chunk patch that chunk
+        subtree only; shallow updates, first-route-under-a-slot announces,
+        and patches past the dirty-chunk threshold rebuild everything.
+        """
+        if prefix.width != self.width:
+            raise TrieError(
+                f"prefix width {prefix.width} != trie width {self.width}"
+            )
+        deep = prefix.length > _L1_STRIDE
+        top16 = prefix.value >> (self.width - _L1_STRIDE) if deep else 0
+        if next_hop is None:
+            group = self._deep.get(top16) if deep else self._shallow
+            if not group or prefix not in group:
+                raise TrieError(f"no route for {prefix}")
+            del group[prefix]
+        elif deep:
+            self._deep.setdefault(top16, {})[prefix] = next_hop
+        else:
+            self._shallow[prefix] = next_hop
+        result = self._patch(top16) if deep else None
+        if result is None:
+            result = self._full_rebuild()
+        self._invalidate_batch()
+        return result
+
+    @property
+    def leaked_chunks(self) -> int:
+        """Unreachable chunks accumulated by patches since the last full
+        rebuild (the fragmentation the dirty-chunk threshold bounds)."""
+        return self._leaked_chunks
 
     # -- lookup ---------------------------------------------------------------
 

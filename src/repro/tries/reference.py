@@ -14,7 +14,7 @@ import numpy as np
 
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
-from .base import BatchKernel, LongestPrefixMatcher
+from .base import BatchKernel, LongestPrefixMatcher, UpdateResult
 
 
 class HashReferenceMatcher(LongestPrefixMatcher):
@@ -52,6 +52,14 @@ class HashReferenceMatcher(LongestPrefixMatcher):
             self._lengths = sorted(self._by_length, reverse=True)
         self._invalidate_batch()
         return hop
+
+    def apply_update(self, prefix: Prefix, next_hop) -> UpdateResult:
+        """One hash write (or removal) per update."""
+        if next_hop is None:
+            self.delete(prefix)
+        else:
+            self.insert(prefix, next_hop)
+        return UpdateResult("patch", 1)
 
     def lookup(self, address: int) -> NextHop:
         counter = self.counter
