@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate the golden result snapshots under ``tests/golden/``.
+
+Run after an intentional simulation-semantics change::
+
+    PYTHONPATH=src python scripts/gen_golden.py
+
+Each scenario is executed with both engines first — regeneration refuses
+to pin a snapshot the two engines disagree on — then the array result is
+written as pretty-printed JSON.  Review the diff like any code change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO))
+sys.path.insert(0, str(REPO / "src"))
+
+from tests.test_golden_results import (  # noqa: E402
+    GOLDEN_DIR,
+    SCENARIOS,
+    run_scenario,
+)
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in SCENARIOS:
+        array = run_scenario(name, "array")
+        scalar = run_scenario(name, "scalar")
+        if json.dumps(array, sort_keys=True) != json.dumps(
+            scalar, sort_keys=True
+        ):
+            raise SystemExit(
+                f"{name}: engines disagree; fix the engines before "
+                "pinning a golden snapshot"
+            )
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(array, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,18 +2,23 @@
 """Profile the simulator's hot path (the guides' rule: measure before
 optimizing).
 
-Runs a standard ψ=8 configuration under cProfile and prints the top
-functions by cumulative time, the per-phase wall-clock breakdown
-(precompute / schedule / run / collect, from ``SpalSimulator.
-phase_seconds``), the simulated-packet (event) rate, and a batch-vs-scalar
-lookup throughput comparison for every vectorized kernel.  Kernel timing is
-collected through :class:`repro.obs.KernelProfile` — the same hooks
-``measure()`` uses — and published into one metrics registry, so the
-numbers printed here and the ones in ``result.metrics_snapshot`` come from
-a single computation (REPRO_BATCH=0 disables the batch paths; see
-docs/TUTORIAL.md).
+The headline section compares the two event-loop engines on the same
+workload — the scalar per-packet loop versus the array-time engine of
+:mod:`repro.sim.array_engine` — over the paper's best-caching trace
+(D_75, WorldCup98-like) at ψ=8 with the nominal 4K-block cache.  Both
+engines are timed cleanly (no profiler attached) over their schedule+run
+phases, which is exactly the code the array engine replaces; the shared
+precompute (trie builds, stream homing) is reported separately.  The two
+runs must agree event-for-event, and the script asserts bit-identical
+latencies before printing the ratio.
 
-    python scripts/profile_sim.py [packets_per_lc]
+Also included: the per-phase wall-clock breakdown, a cProfile listing of
+the *scalar* engine (the baseline being optimized away), and the
+batch-vs-scalar lookup throughput comparison for every vectorized trie
+kernel (via :class:`repro.obs.KernelProfile`; REPRO_BATCH=0 disables the
+batch paths everywhere — see docs/TUTORIAL.md).
+
+    python scripts/profile_sim.py [packets_per_lc] [--profile]
 """
 
 from __future__ import annotations
@@ -46,6 +51,78 @@ KERNELS = {
     "multibit": MultibitTrie,
     "ref": HashReferenceMatcher,
 }
+
+#: The headline engine-comparison workload: ψ=8 over D_75 (the paper's
+#: best-caching trace) with the nominal 4K-block cache.  Kept in one
+#: place so ``benchmarks/test_bench_headline.py`` gates the same setup.
+HEADLINE = dict(trace="D_75", n_lcs=8, cache_blocks=4096)
+
+
+def headline_workload(packets_per_lc: int, table=None):
+    """(table, config, streams) for the headline engine comparison."""
+    if table is None:
+        table = make_rt2(size=20_000)
+    spec = trace_spec(HEADLINE["trace"]).scaled(
+        HEADLINE["n_lcs"] * packets_per_lc
+    )
+    population = FlowPopulation(spec, table)
+    streams = generate_router_streams(
+        population, HEADLINE["n_lcs"], packets_per_lc
+    )
+    config = SpalConfig(
+        n_lcs=HEADLINE["n_lcs"],
+        cache=CacheConfig(n_blocks=HEADLINE["cache_blocks"]),
+    )
+    return table, config, streams
+
+
+def run_engine(table, config, streams, engine: str):
+    """One clean (unprofiled) run; returns (result, sim, loop_seconds).
+
+    ``loop_seconds`` covers the schedule+run phases — the event loop the
+    array engine rewrites; precompute is shared and identical for both.
+    """
+    sim = SpalSimulator(table, config=config)
+    result = sim.run([np.array(s, copy=True) for s in streams],
+                     engine=engine)
+    loop = sim.phase_seconds["schedule"] + sim.phase_seconds["run"]
+    return result, sim, loop
+
+
+def compare_engines(packets_per_lc: int, table=None) -> dict:
+    """Time scalar vs array on the headline workload and check identity.
+
+    Returns ``{"events", "scalar_s", "array_s", "ratio", ...}`` so the
+    headline benchmark can gate on the same numbers this script prints.
+    """
+    table, config, streams = headline_workload(packets_per_lc, table)
+    r_s, sim_s, loop_s = run_engine(table, config, streams, "scalar")
+    r_a, sim_a, loop_a = run_engine(table, config, streams, "array")
+    if sim_s.queue.processed != sim_a.queue.processed:
+        raise AssertionError(
+            f"engines processed different event counts: "
+            f"{sim_s.queue.processed} vs {sim_a.queue.processed}"
+        )
+    if not np.array_equal(r_s.latencies, r_a.latencies):
+        raise AssertionError("engines disagree on latencies")
+    events = sim_a.queue.processed
+    hits = sum(
+        c.stats.hits + c.stats.waiting_hits + c.stats.victim_hits
+        for c in sim_a.caches
+    )
+    lookups = sum(c.stats.lookups for c in sim_a.caches)
+    return {
+        "events": events,
+        "packets": r_a.packets,
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "scalar_s": loop_s,
+        "array_s": loop_a,
+        "scalar_eps": events / loop_s,
+        "array_eps": events / loop_a,
+        "ratio": loop_s / loop_a,
+        "phases_scalar": dict(sim_s.phase_seconds),
+        "phases_array": dict(sim_a.phase_seconds),
+    }
 
 
 def lookup_throughput(
@@ -89,46 +166,41 @@ def lookup_throughput(
     print()
 
 
+def profile_scalar(packets_per_lc: int, table) -> None:
+    """cProfile the scalar engine — the baseline the array engine
+    replaces — and print the top functions by cumulative time."""
+    table, config, streams = headline_workload(packets_per_lc, table)
+    sim = SpalSimulator(table, config=config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(streams, engine="scalar")
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(18)
+
+
 def main() -> None:
-    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
-    n_lcs = 8
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    packets = int(args[0]) if args else 20_000
     registry = MetricsRegistry()
     table = make_rt2(size=20_000)
     lookup_throughput(table, registry)
-    spec = trace_spec("L_92-0").scaled(16 * packets)
-    population = FlowPopulation(spec, table)
-    streams = generate_router_streams(population, n_lcs, packets)
-    sim = SpalSimulator(
-        table,
-        SpalConfig(n_lcs=n_lcs, cache=CacheConfig(n_blocks=1024)),
-        registry=registry,
-    )
 
-    profiler = cProfile.Profile()
-    start = time.perf_counter()
-    profiler.enable()
-    result = sim.run(streams)
-    profiler.disable()
-    elapsed = time.perf_counter() - start
-
-    # Throughput from the run's own metrics snapshot — one source of truth
-    # shared with every other consumer of result.metrics_snapshot.
-    snapshot = result.metrics_snapshot
-    completed = int(snapshot["sim.packets{outcome=completed}"])
-    events = sim.queue.processed
-    print(f"{completed} packets in {elapsed:.2f}s "
-          f"({completed / elapsed / 1000:.0f}k simulated packets/s, "
-          f"{events / elapsed / 1000:.0f}k events/s)")
-    print("phase breakdown: " + "  ".join(
-        f"{phase} {seconds * 1e3:.1f}ms"
-        for phase, seconds in sim.phase_seconds.items()
-    ))
-    print("top metrics:")
-    for metric, heat in result.top_metrics(5):
-        print(f"  {metric:40s} {heat:12.0f}")
+    print(f"engine comparison: {HEADLINE['trace']}, ψ={HEADLINE['n_lcs']}, "
+          f"β={HEADLINE['cache_blocks']} blocks, {packets} packets/LC")
+    stats = compare_engines(packets, table)
+    for eng in ("scalar", "array"):
+        loop = stats[f"{eng}_s"]
+        eps = stats[f"{eng}_eps"]
+        phases = stats[f"phases_{eng}"]
+        print(f"  {eng:6s} loop {loop:6.2f}s  {eps / 1000:7.0f}k events/s   "
+              + "  ".join(f"{k} {v * 1e3:.0f}ms" for k, v in phases.items()))
+    print(f"  {stats['events']} events, cache hit rate "
+          f"{stats['hit_rate']:.4f}, array speedup "
+          f"{stats['ratio']:.2f}x (bit-identical results)")
     print()
-    stats = pstats.Stats(profiler)
-    stats.sort_stats("cumulative").print_stats(18)
+
+    if "--profile" in sys.argv[1:]:
+        profile_scalar(packets, table)
 
 
 if __name__ == "__main__":

@@ -416,6 +416,58 @@ class LRCache:
             return None
         return self._policy.choose(candidates)
 
+    # -- array-engine writeback ---------------------------------------------
+
+    def adopt_flat_state(
+        self,
+        sets: List[List[tuple]],
+        stamp: int,
+        victim_entries: Optional[List[tuple]] = None,
+        victim_stamp: int = 0,
+        victim_insertions: int = 0,
+        victim_hits: int = 0,
+    ) -> None:
+        """Rebuild resident entries from the array engine's flat state.
+
+        ``sets[i]`` lists that set's entries as ``(address, next_hop, mix,
+        waiting, last_used, inserted)`` tuples *in dict insertion order* —
+        order is part of the contract, since replacement candidate lists
+        (and therefore future evictions) follow it.  ``self.stats`` is the
+        engine's responsibility; this only restores the structural state so
+        post-run introspection (occupancy, mix_histogram, peek) matches a
+        scalar run.
+        """
+        if len(sets) != self.n_sets:
+            raise CacheConfigError(
+                f"flat state has {len(sets)} sets, cache has {self.n_sets}"
+            )
+        rebuilt: List[Dict[int, CacheEntry]] = []
+        for flat in sets:
+            d: Dict[int, CacheEntry] = {}
+            for address, next_hop, mix, waiting, last_used, inserted in flat:
+                entry = CacheEntry(address, mix, last_used)
+                entry.next_hop = next_hop
+                entry.waiting = waiting
+                entry.inserted = inserted
+                d[address] = entry
+            rebuilt.append(d)
+        self._sets = rebuilt
+        self._stamp = stamp
+        if self.victim is not None:
+            vd: Dict[int, CacheEntry] = {}
+            for address, next_hop, mix, waiting, last_used, inserted in (
+                victim_entries or []
+            ):
+                entry = CacheEntry(address, mix, last_used)
+                entry.next_hop = next_hop
+                entry.waiting = waiting
+                entry.inserted = inserted
+                vd[address] = entry
+            self.victim._entries = vd
+            self.victim._stamp = victim_stamp
+            self.victim.insertions = victim_insertions
+            self.victim.hits = victim_hits
+
     # -- observability -----------------------------------------------------------
 
     def bind_obs(self, registry, **labels: object) -> None:

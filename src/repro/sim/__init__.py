@@ -7,11 +7,13 @@ from .baselines import (
     conventional_mean_cycles,
     conventional_mpps,
 )
+from .array_engine import ArrayEngine
 from .engine import EventQueue, Resource
 from .results import SimulationResult
 from .spal_sim import SpalSimulator
 
 __all__ = [
+    "ArrayEngine",
     "EventQueue",
     "Resource",
     "SimulationResult",

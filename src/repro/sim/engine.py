@@ -34,6 +34,34 @@ class EventQueue:
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handler, args))
 
+    def drain(self) -> List[Tuple[int, int, Callable[..., None], tuple]]:
+        """Remove and return every pending ``(time, seq, handler, args)``
+        event (heap order, not sorted).
+
+        Used by the array engine to take over a queue that run() pre-seeded
+        with fault/churn events: the entries keep their original sequence
+        numbers, so a translated replay preserves the exact pop order the
+        scalar loop would have produced.
+        """
+        events, self._heap = self._heap, []
+        return events
+
+    def adopt_flat_run(self, seq: int, now: int, processed: int) -> None:
+        """Absorb the outcome of an externally-executed (array-engine) run.
+
+        The engine allocated sequence numbers and processed events on this
+        queue's behalf; afterwards the queue must look exactly as if it had
+        run them itself — same ``now``, same ``processed`` count, and a
+        ``_seq`` high-water mark that keeps any later ``schedule`` unique.
+        """
+        if self._heap:
+            raise SimulationError(
+                "cannot adopt a flat run with events still pending"
+            )
+        self._seq = seq
+        self.now = now
+        self.processed += processed
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the queue (optionally bounded); returns the final time."""
         heap = self._heap

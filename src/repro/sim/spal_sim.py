@@ -340,7 +340,9 @@ class SpalSimulator:
                 src=src,
                 dst=dst,
                 recv=arrive,
-                kind="request" if handler is self._remote_request else "reply",
+                # Bound-method comparison needs ==, not `is` (each attribute
+                # access builds a fresh bound method object).
+                kind="request" if handler == self._remote_request else "reply",
                 dropped=dropped,
             )
         if not dropped:
@@ -990,6 +992,18 @@ class SpalSimulator:
             c.max_accesses = max_accesses
         return out
 
+    def _resolve_engine(self, engine: str) -> bool:
+        """True for the array engine, False for the scalar loop."""
+        if engine == "auto":
+            return batch_enabled()
+        if engine == "array":
+            return True
+        if engine == "scalar":
+            return False
+        raise SimulationError(
+            f"engine must be 'auto', 'array' or 'scalar', got {engine!r}"
+        )
+
     # -- driving ----------------------------------------------------------------
 
     def run(
@@ -1003,6 +1017,7 @@ class SpalSimulator:
         faults: Optional[FaultSchedule] = None,
         updates: Optional[ChurnSchedule] = None,
         update_policy: str = "selective",
+        engine: str = "auto",
     ) -> SimulationResult:
         """Run the router over per-LC destination streams.
 
@@ -1038,6 +1053,14 @@ class SpalSimulator:
         cycle T applies before T's arrivals (and after T's fault events).
         Requires ``partitioned=True``; an empty (or absent) schedule leaves
         the run bit-identical to the churn-free simulator.
+
+        ``engine`` selects the event-loop implementation: ``"array"`` (the
+        packed-state engine of :mod:`repro.sim.array_engine`), ``"scalar"``
+        (per-packet Python objects over :class:`EventQueue`), or ``"auto"``
+        (array when batching is enabled — the ``REPRO_BATCH=0`` escape
+        hatch forces scalar).  The two engines are bit-identical; the
+        differential suite in ``tests/test_engine_identity.py`` enforces
+        it.
         """
         if getattr(self, "_ran", False):
             raise SimulationError(
@@ -1123,40 +1146,62 @@ class SpalSimulator:
         t0 = time.perf_counter()
         precomputed = self._precompute_streams(streams)
         self.phase_seconds["precompute"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        tracing = self._trace is not None
-        next_pid = 0
-        total = 0
-        for lc, stream in enumerate(streams):
-            times = arrival_times(
-                len(stream), speed_gbps=speeds[lc], seed=1000 + lc
+        total = sum(len(s) for s in streams)
+        failover_lat: Optional[List[int]] = None
+        if self._resolve_engine(engine):
+            from .array_engine import ArrayEngine
+
+            out = ArrayEngine(self).run(
+                streams, speeds, precomputed, flush_cycles, update_events,
+                warmup_packets,
             )
-            homes_hops = precomputed[lc] if precomputed is not None else None
-            for i, (t, dest) in enumerate(zip(times, stream)):
-                pkt = _Packet(int(dest), lc, int(t))
-                pkt.measured = i >= warmup_packets
-                if tracing:
-                    # Sequential per run, touched only by the tracer — pid
-                    # assignment cannot perturb the simulated timeline.
-                    pkt.pid = next_pid
-                    next_pid += 1
-                if homes_hops is not None:
-                    pkt.home = homes_hops[0][i]
-                    if homes_hops[1] is not None:
-                        pkt.hop = homes_hops[1][i]
-                self.queue.schedule(int(t), self._arrive, pkt, lc)
-            total += len(stream)
-        if flush_cycles:
-            for t in flush_cycles:
-                self.queue.schedule(int(t), self._flush_all)
-        if update_events:
-            for t, prefix in update_events:
-                self.queue.schedule(int(t), self._invalidate_prefix, prefix)
-        self.phase_seconds["schedule"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        horizon = self.queue.run()
-        self.phase_seconds["run"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
+            horizon = out["horizon"]
+            latencies = out["latencies"]
+            failover_lat = out["failover"]
+            t0 = time.perf_counter()
+        else:
+            t0 = time.perf_counter()
+            tracing = self._trace is not None
+            next_pid = 0
+            for lc, stream in enumerate(streams):
+                times = arrival_times(
+                    len(stream), speed_gbps=speeds[lc], seed=1000 + lc
+                )
+                homes_hops = (
+                    precomputed[lc] if precomputed is not None else None
+                )
+                for i, (t, dest) in enumerate(zip(times, stream)):
+                    pkt = _Packet(int(dest), lc, int(t))
+                    pkt.measured = i >= warmup_packets
+                    if tracing:
+                        # Sequential per run, touched only by the tracer —
+                        # pid assignment cannot perturb the timeline.
+                        pkt.pid = next_pid
+                        next_pid += 1
+                    if homes_hops is not None:
+                        pkt.home = homes_hops[0][i]
+                        if homes_hops[1] is not None:
+                            pkt.hop = homes_hops[1][i]
+                    self.queue.schedule(int(t), self._arrive, pkt, lc)
+            if flush_cycles:
+                for t in flush_cycles:
+                    self.queue.schedule(int(t), self._flush_all)
+            if update_events:
+                for t, prefix in update_events:
+                    self.queue.schedule(int(t), self._invalidate_prefix, prefix)
+            self.phase_seconds["schedule"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            horizon = self.queue.run()
+            self.phase_seconds["run"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            latencies = np.array(
+                [
+                    p.complete_time - p.arrival_time
+                    for p in self.completed
+                    if p.measured
+                ],
+                dtype=np.int64,
+            )
         # Conservation: every offered packet either completed its lookup or
         # is accounted as a drop — anything else is a simulator bug.
         if len(self.completed) + len(self.dropped_packets) != total:
@@ -1164,14 +1209,6 @@ class SpalSimulator:
                 f"{total - len(self.completed) - len(self.dropped_packets)} "
                 f"packets neither completed nor dropped"
             )
-        latencies = np.array(
-            [
-                p.complete_time - p.arrival_time
-                for p in self.completed
-                if p.measured
-            ],
-            dtype=np.int64,
-        )
         if len(latencies) == 0 and not self.dropped_packets:
             raise SimulationError("warmup_packets left no measured packets")
         cache_stats = []
@@ -1221,11 +1258,15 @@ class SpalSimulator:
             result.lc_availability = [
                 1.0 - (d / horizon if horizon > 0 else 0.0) for d in down
             ]
-            failover = [
-                p.complete_time - p.arrival_time
-                for p in self.completed
-                if p.measured and p.attempt > 0
-            ]
+            failover = (
+                failover_lat
+                if failover_lat is not None
+                else [
+                    p.complete_time - p.arrival_time
+                    for p in self.completed
+                    if p.measured and p.attempt > 0
+                ]
+            )
             result.failover_packets = len(failover)
             if failover:
                 result.failover_mean_cycles = float(

@@ -1,0 +1,167 @@
+"""Shared fixtures and helpers for the tier-1 suite.
+
+Three things live here:
+
+* **session-scoped inputs** — routing tables (and a partition plan) that
+  many modules previously rebuilt per-module or per-test.  Table
+  generation walks the synthetic prefix profiles and is the dominant
+  fixed cost of several modules; building each flavour once per session
+  keeps the suite fast without changing any test's inputs.
+* **fast-path toggling** — one parametrized helper for the
+  ``REPRO_BATCH`` bit-identity checks that used to be copy-pasted across
+  ``test_churn``/``test_faults``/``test_properties_sim``.
+* **hypothesis profiles** — a capped ``ci-smoke`` profile so the CI
+  engine-identity job bounds its example budget (select it with
+  ``HYPOTHESIS_PROFILE=ci-smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.routing import random_small_table
+
+# -- hypothesis profiles ----------------------------------------------------
+
+settings.register_profile("ci-smoke", max_examples=8, deadline=None)
+settings.register_profile("thorough", max_examples=200, deadline=None)
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)
+
+
+# -- session-scoped tables --------------------------------------------------
+# Deterministic (fixed seeds) and treated as read-only by consumers; a
+# test that needs to mutate a table must copy it (or build its own).
+
+
+@pytest.fixture(scope="session")
+def ipv4_table():
+    """A mid-size IPv4 table shared by simulator-level suites."""
+    return random_small_table(300, seed=33)
+
+
+@pytest.fixture(scope="session")
+def ipv6_table():
+    """An IPv6 (width-128) table: exercises the scalar trie fallbacks."""
+    return random_small_table(
+        120, seed=17, max_length=48, width=128
+    )
+
+
+# -- result digests ---------------------------------------------------------
+
+
+def result_digest(r) -> dict:
+    """Every ``SimulationResult`` field as plain JSON-able values.
+
+    Used by the engine-identity differential suite (field-by-field
+    scalar/array comparison) and the golden-snapshot tests (replay and
+    diff against a pinned JSON file) — any new result field must be
+    added here to stay covered by both.
+    """
+    return {
+        "name": r.name,
+        "n_lcs": r.n_lcs,
+        "latencies": np.asarray(r.latencies).tolist(),
+        "horizon_cycles": int(r.horizon_cycles),
+        "cache_stats": r.cache_stats,
+        "fe_lookups": list(r.fe_lookups),
+        "fe_utilization": list(r.fe_utilization),
+        "fabric_messages": r.fabric_messages,
+        "flushes": r.flushes,
+        "extra": r.extra,
+        "drops": r.drops,
+        "retries": r.retries,
+        "fabric_dropped_messages": r.fabric_dropped_messages,
+        "fault_events": r.fault_events,
+        "lc_availability": list(r.lc_availability),
+        "failover_packets": r.failover_packets,
+        "failover_mean_cycles": r.failover_mean_cycles,
+        "update_events_applied": r.update_events_applied,
+        "update_patches": r.update_patches,
+        "update_rebuilds": r.update_rebuilds,
+        "update_service_cycles": r.update_service_cycles,
+        "invalidation_messages": r.invalidation_messages,
+        "invalidation_entries_dropped": r.invalidation_entries_dropped,
+        "churn_misses": r.churn_misses,
+        "metrics_snapshot": r.metrics_snapshot,
+    }
+
+
+# -- REPRO_BATCH fast-path helpers ------------------------------------------
+
+
+@contextmanager
+def fast_path(enabled: bool):
+    """Temporarily pin the process-wide batch fast path on or off."""
+    old = os.environ.get("REPRO_BATCH")
+    os.environ["REPRO_BATCH"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_BATCH", None)
+        else:
+            os.environ["REPRO_BATCH"] = old
+
+
+def assert_fast_path_bit_identical(run=None, *, subprocess_code=None):
+    """Assert a scenario is bit-identical with the fast paths on and off.
+
+    Exactly one mode:
+
+    * ``run`` — a zero-arg callable returning a ``SimulationResult``;
+      it is invoked under ``REPRO_BATCH=1`` and ``REPRO_BATCH=0`` and
+      the results are compared field-by-field (latency bytes, horizon,
+      summary, metrics snapshot).
+    * ``subprocess_code`` — a snippet printing a result digest; it runs
+      in two fresh interpreters so the toggle is seen at *import* time
+      (kernel compilation happens on module import), and the outputs
+      must match byte-for-byte.
+    """
+    if (run is None) == (subprocess_code is None):
+        raise ValueError("pass exactly one of run= or subprocess_code=")
+    if subprocess_code is not None:
+        outs = []
+        for batch in ("1", "0"):
+            env = dict(os.environ, REPRO_BATCH=batch)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            proc = subprocess.run(
+                [sys.executable, "-c", subprocess_code],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1], (
+            f"fast-path on/off outputs differ:\n{outs[0]}\nvs\n{outs[1]}"
+        )
+        return outs[0]
+    with fast_path(True):
+        on = run()
+    with fast_path(False):
+        off = run()
+    assert np.array_equal(on.latencies, off.latencies)
+    assert on.horizon_cycles == off.horizon_cycles
+    assert on.summary() == off.summary()
+    assert on.metrics_snapshot == off.metrics_snapshot
+    return on, off
+
+
+@pytest.fixture(scope="session")
+def fast_path_toggle():
+    """The :func:`fast_path` context manager, as a session fixture (usable
+    from ``@given`` tests, where function-scoped fixtures are barred)."""
+    return fast_path
+
+
+@pytest.fixture(scope="session")
+def fast_path_bit_identity():
+    """The :func:`assert_fast_path_bit_identical` helper as a fixture."""
+    return assert_fast_path_bit_identical

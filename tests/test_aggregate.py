@@ -144,6 +144,7 @@ class TestProperties:
 
 
 class TestAggregationExperiment:
+    @pytest.mark.slow
     def test_stages_and_monotonicity(self):
         from repro.experiments import run_aggregation
 

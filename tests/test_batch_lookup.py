@@ -128,6 +128,7 @@ class TestBatchEqualsScalar:
         assert_batch_equals_scalar(factory, table, addrs)
 
     @pytest.mark.parametrize("factory", MATCHERS, ids=MATCHER_IDS)
+    @pytest.mark.slow
     def test_env_escape_hatch(self, factory, monkeypatch):
         table = random_small_table(200, seed=21)
         rng = np.random.default_rng(2)

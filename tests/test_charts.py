@@ -79,6 +79,7 @@ class TestLineChart:
 
 
 class TestFigureIntegration:
+    @pytest.mark.slow
     def test_fig3_includes_charts(self):
         from repro.experiments import run_fig3
 

@@ -2,9 +2,6 @@
 incremental matcher updates, staleness-free cache invalidation, and the
 cycle-interleaved simulator path."""
 
-import os
-import subprocess
-import sys
 
 import numpy as np
 import pytest
@@ -334,9 +331,12 @@ class TestSimulatorChurn:
         assert base.summary() == empty.summary()
         assert base.metrics_snapshot == empty.metrics_snapshot
 
-    def test_zero_update_bit_identity_survives_fast_path_off(self, table):
-        """Exercised in a subprocess so REPRO_BATCH=0 is seen at import."""
-        code = (
+    def test_zero_update_bit_identity_survives_fast_path_off(
+        self, table, fast_path_bit_identity
+    ):
+        """Exercised in subprocesses (via the shared conftest helper) so
+        REPRO_BATCH=0 is seen at import."""
+        fast_path_bit_identity(subprocess_code=(
             "import numpy as np\n"
             "from repro.core import CacheConfig, SpalConfig\n"
             "from repro.routing import random_small_table\n"
@@ -352,17 +352,7 @@ class TestSimulatorChurn:
             "res = sim.run(streams, speed_gbps=10)\n"
             "print(res.packets, round(res.mean_lookup_cycles, 6), "
             "res.horizon_cycles, res.fabric_messages)\n"
-        )
-        outs = []
-        for batch in ("1", "0"):
-            env = dict(os.environ, REPRO_BATCH=batch)
-            env["PYTHONPATH"] = os.pathsep.join(sys.path)
-            proc = subprocess.run(
-                [sys.executable, "-c", code],
-                capture_output=True, text=True, env=env, check=True,
-            )
-            outs.append(proc.stdout)
-        assert outs[0] == outs[1]
+        ))
 
     def test_churn_run_is_deterministic_and_oracle_verified(self, table):
         horizon = 150_000

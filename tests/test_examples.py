@@ -58,6 +58,7 @@ def test_capacity_planning():
     assert "FE backlog" in out
 
 
+@pytest.mark.slow
 def test_failover_demo():
     out = run_example("failover_demo.py")
     assert "lookup errors during failover: 0" in out

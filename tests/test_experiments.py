@@ -79,12 +79,14 @@ class TestStorageExperiments:
             assert row["max_partition"] >= row["min_partition"]
         assert result.rendered
 
+    @pytest.mark.slow
     def test_partition_storage_savings_positive(self):
         result = run_partition_storage()
         assert len(result.rows) == 12  # 2 tables x 3 tries x 2 psi
         for row in result.rows:
             assert row["saving_per_lc_kb"] > 0
 
+    @pytest.mark.slow
     def test_fig3_s_below_w(self):
         result = run_fig3()
         assert len(result.rows) == 4
@@ -92,6 +94,7 @@ class TestStorageExperiments:
             for trie in ("DP", "LL", "LC"):
                 assert row[f"{trie}_S"] < row[f"{trie}_W"]
 
+    @pytest.mark.slow
     def test_access_counts_match_paper_band(self):
         result = run_access_counts(n_addresses=2000)
         by_key = {(r["table"], r["trie"]): r for r in result.rows}
@@ -104,6 +107,7 @@ class TestStorageExperiments:
             assert 11 <= dp["mean_accesses"] <= 20
             assert 50 <= dp["fe_cycles"] <= 72
 
+    @pytest.mark.slow
     def test_worst_case_partitioned(self):
         # The paper's claim is "may *possibly* shorten" the worst case —
         # partitioning must never blow it up, and should help or tie for

@@ -462,9 +462,9 @@ class TestProperties:
 
     @given(seed=st.integers(0, 300), n=st.integers(20, 120))
     @settings(max_examples=15, deadline=None)
-    def test_zero_fault_schedule_identical_fast_path_on_off(self, seed, n):
-        import os
-
+    def test_zero_fault_schedule_identical_fast_path_on_off(
+        self, seed, n, fast_path_bit_identity
+    ):
         cfg = SpalConfig(
             n_lcs=3,
             cache=CacheConfig(n_blocks=32),
@@ -476,20 +476,8 @@ class TestProperties:
             rng.integers(0, 1 << 12, size=n).astype(np.uint64)
             for _ in range(3)
         ]
-        on = SpalSimulator(IPV4_TABLE, cfg).run(
-            streams, faults=FaultSchedule(), name="t"
-        )
-        old = os.environ.get("REPRO_BATCH")
-        os.environ["REPRO_BATCH"] = "0"
-        try:
-            off = SpalSimulator(IPV4_TABLE, cfg).run(
-                streams, faults=FaultSchedule(), name="t"
+        fast_path_bit_identity(
+            lambda: SpalSimulator(IPV4_TABLE, cfg).run(
+                [s.copy() for s in streams], faults=FaultSchedule(), name="t"
             )
-        finally:
-            if old is None:
-                del os.environ["REPRO_BATCH"]
-            else:
-                os.environ["REPRO_BATCH"] = old
-        assert np.array_equal(on.latencies, off.latencies)
-        assert on.horizon_cycles == off.horizon_cycles
-        assert on.summary() == off.summary()
+        )

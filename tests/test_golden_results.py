@@ -1,0 +1,108 @@
+"""Golden-result snapshots: replay pinned scenarios and diff every field.
+
+``tests/golden/*.json`` pins the full :func:`tests.conftest.result_digest`
+of six small-but-representative runs — IPv4 and IPv6, each clean, under
+fault injection, and under live churn.  The tier-1 test replays each
+scenario with **both** engines and diffs against the snapshot, so any
+drift in simulation semantics (not just scalar/array divergence) fails
+loudly with the first differing field.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python scripts/gen_golden.py
+
+and review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import CacheConfig, FaultSchedule, SpalConfig
+from repro.routing import random_small_table
+from repro.routing.churn import generate_churn
+from repro.sim import SpalSimulator
+
+from .conftest import result_digest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _ipv4_table():
+    return random_small_table(80, seed=44, max_length=20)
+
+
+def _ipv6_table():
+    return random_small_table(40, seed=18, max_length=48, width=128)
+
+
+def _faults():
+    return (
+        FaultSchedule(seed=3)
+        .fail_lc(600, 1)
+        .recover_lc(2600, 1)
+        .degrade_fabric(900, 1700, extra_latency=2, drop_prob=0.15)
+    )
+
+
+def _streams(n_lcs, n_packets, seed, v6=False):
+    rng = np.random.default_rng(seed)
+    # A narrow address space gives real temporal locality, so the
+    # snapshots pin hit/eviction/waiting behaviour, not just misses.
+    raw = rng.integers(0, 120, size=(n_lcs, n_packets))
+    if v6:
+        return [
+            np.array([(0x2001 << 112) | int(x) for x in row], dtype=object)
+            for row in raw
+        ]
+    return [row.astype(np.uint64) for row in raw]
+
+
+def _build(name):
+    """(table, config, streams, run_kwargs) for a scenario name."""
+    v6 = name.startswith("ipv6")
+    table = _ipv6_table() if v6 else _ipv4_table()
+    cache = CacheConfig(n_blocks=64, victim_blocks=4)
+    config = SpalConfig(n_lcs=3, cache=cache, replicas=2)
+    streams = _streams(3, 250, seed=21 if v6 else 12, v6=v6)
+    kwargs = {"name": name}
+    if name.endswith("faults"):
+        kwargs["faults"] = _faults()
+    elif name.endswith("churn"):
+        kwargs["updates"] = generate_churn(
+            table, rate_per_s=4_000_000, horizon_cycles=5000, seed=6
+        )
+        kwargs["update_policy"] = "selective"
+    return table, config, streams, kwargs
+
+
+SCENARIOS = [
+    "ipv4-clean", "ipv4-faults", "ipv4-churn",
+    "ipv6-clean", "ipv6-faults", "ipv6-churn",
+]
+
+
+def run_scenario(name, engine):
+    table, config, streams, kwargs = _build(name)
+    sim = SpalSimulator(table, config=config)
+    return result_digest(sim.run(streams, engine=engine, **kwargs))
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@pytest.mark.parametrize("engine", ["array", "scalar"])
+def test_golden_replay(name, engine):
+    path = GOLDEN_DIR / f"{name}.json"
+    golden = json.loads(path.read_text())
+    # Round-trip through JSON so tuples/ints compare on equal footing.
+    got = json.loads(json.dumps(run_scenario(name, engine)))
+    assert sorted(got) == sorted(golden), "result field set drifted"
+    for key in golden:
+        assert got[key] == golden[key], (
+            f"{name} [{engine}] drifted on {key!r}:\n"
+            f"  golden: {golden[key]!r}\n"
+            f"  got:    {got[key]!r}"
+        )

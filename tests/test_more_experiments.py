@@ -13,6 +13,7 @@ from repro.traffic import FlowPopulation, TraceSpec, generate_router_streams
 
 
 class TestIPv6Storage:
+    @pytest.mark.slow
     def test_rows_and_savings(self):
         result = run_ipv6_storage(size=1500)
         assert len(result.rows) == 12  # 2 tables x 3 tries x 2 psi
@@ -20,6 +21,7 @@ class TestIPv6Storage:
             assert row["saving_kb"] > 0
             assert row["reduction"] > 1.0
 
+    @pytest.mark.slow
     def test_absolute_saving_larger_under_ipv6(self):
         """The paper: "the reduction amount will be much larger under IPv6"
         — per-LC byte savings for the binary trie at psi=16."""
@@ -143,6 +145,7 @@ class TestIndexFunction:
 
 
 class TestScorecard:
+    @pytest.mark.slow
     def test_all_claims_pass_at_small_scale(self):
         from repro.experiments import run_scorecard
 

@@ -1,7 +1,5 @@
 """Property-based tests for the simulator: conservation and causality."""
 
-import os
-
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
@@ -126,7 +124,9 @@ class TestTracingInvariance:
 
     @given(st.data())
     @settings(max_examples=20, deadline=None)
-    def test_tracing_never_changes_any_result_field(self, data):
+    def test_tracing_never_changes_any_result_field(
+        self, fast_path_toggle, data
+    ):
         config = data.draw(sim_configs())
         streams = data.draw(small_streams(config.n_lcs))
         batch = data.draw(st.booleans())
@@ -138,9 +138,7 @@ class TestTracingInvariance:
             faults = FaultSchedule(seed=7).fail_lc(fail, lc).recover_lc(
                 recover, lc
             )
-        previous = os.environ.get("REPRO_BATCH")
-        os.environ["REPRO_BATCH"] = "1" if batch else "0"
-        try:
+        with fast_path_toggle(batch):
             def run(trace):
                 sim = SpalSimulator(TABLE, config, trace=trace)
                 return sim.run(
@@ -150,10 +148,5 @@ class TestTracingInvariance:
             plain = run(None)
             disabled = run(Tracer(enabled=False))
             traced = run(Tracer())
-        finally:
-            if previous is None:
-                os.environ.pop("REPRO_BATCH", None)
-            else:
-                os.environ["REPRO_BATCH"] = previous
         for other in (disabled, traced):
             assert _result_fields(other) == _result_fields(plain)

@@ -95,6 +95,7 @@ class TestOptimalStrides:
 
 
 class TestStrideExperiment:
+    @pytest.mark.slow
     def test_optimum_beats_habit(self):
         from repro.experiments import run_stride_optimization
 

@@ -68,6 +68,7 @@ class TestAgainstOracle:
         for a in probe_addresses(no_default_table, 400, seed=11):
             assert matcher.lookup(int(a)) == no_default_table.lookup(int(a)), name
 
+    @pytest.mark.slow
     def test_clustered_table(self, name, factory, clustered_table):
         matcher = factory(clustered_table)
         for a in probe_addresses(clustered_table, 300, seed=12):
