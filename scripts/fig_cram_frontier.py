@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Render the E20 CRAM frontier as text charts (no plotting deps).
+
+Runs the ``cram-frontier`` experiment (or loads a previously saved JSON
+dump) and renders:
+
+* bytes/prefix vs table size, one series per matcher (log-ish spread —
+  the packed Lulea pool sits an order of magnitude under the multibit
+  expansion);
+* the ψ frontier: per-LC CRAM (max partition pool) and streamed
+  simulator events/s side by side for each table size.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fig_cram_frontier.py [dump.json]
+    REPRO_CRAM_SIZES=10000,50000 ... scripts/fig_cram_frontier.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.analysis.charts import bar_chart, line_chart
+from repro.experiments import run_cram_frontier
+
+
+def load_rows():
+    if len(sys.argv) > 1:
+        with open(sys.argv[1]) as f:
+            return json.load(f)["rows"]
+    result = run_cram_frontier()
+    print(result.rendered)
+    print()
+    return result.rows
+
+
+def main() -> None:
+    rows = load_rows()
+    storage = [r for r in rows if r["section"] == "storage"]
+    frontier = [r for r in rows if r["section"] == "frontier"]
+
+    sizes = sorted({r["size"] for r in storage})
+    matchers = []
+    for r in storage:
+        if r["matcher"] not in matchers:
+            matchers.append(r["matcher"])
+    by = {(r["matcher"], r["size"]): r for r in storage}
+    series = {
+        m: [
+            by[(m, s)]["pool_B_per_prefix"] if (m, s) in by else None
+            for s in sizes
+        ]
+        for m in matchers
+    }
+    print(line_chart(
+        sizes, series, height=14,
+        title="pool bytes/prefix vs table size (packed node pools)",
+    ))
+    print()
+
+    for size in sorted({r["size"] for r in frontier}):
+        pts = [r for r in frontier if r["size"] == size]
+        labels = [f"psi={r['psi']}" for r in pts]
+        print(bar_chart(
+            labels, [r["pool_B_per_prefix"] for r in pts],
+            title=f"{size} prefixes: per-LC Lulea CRAM (bytes/prefix)",
+            unit=" B/pfx",
+        ))
+        print(bar_chart(
+            labels, [r["events_per_s"] / 1000.0 for r in pts],
+            title=f"{size} prefixes: streamed simulation speed",
+            unit=" kev/s",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,12 +19,20 @@ kernel (via :class:`repro.obs.KernelProfile`; REPRO_BATCH=0 disables the
 batch paths everywhere — see docs/TUTORIAL.md).
 
     python scripts/profile_sim.py [packets_per_lc] [--profile]
+        [--table-size N]
+
+``--table-size`` rebuilds the workload table at N synthetic prefixes
+(default 20,000) — the full-table profile (``make_rt2`` scales the RT_2
+length mix), so the packed node pools and the streaming path can be
+profiled at 200k–1M routes.  Peak RSS (``resource.getrusage``) is
+reported at the end of every run.
 """
 
 from __future__ import annotations
 
 import cProfile
 import pstats
+import resource
 import sys
 import time
 
@@ -178,11 +186,26 @@ def profile_scalar(packets_per_lc: int, table) -> None:
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(18)
 
 
+def peak_rss_mib() -> float:
+    """Peak resident set size of this process, in MiB (Linux reports
+    ``ru_maxrss`` in KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 def main() -> None:
-    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    argv = sys.argv[1:]
+    table_size = 20_000
+    if "--table-size" in argv:
+        i = argv.index("--table-size")
+        table_size = int(argv[i + 1])
+        del argv[i:i + 2]
+    args = [a for a in argv if not a.startswith("--")]
     packets = int(args[0]) if args else 20_000
     registry = MetricsRegistry()
-    table = make_rt2(size=20_000)
+    t0 = time.perf_counter()
+    table = make_rt2(size=table_size)
+    print(f"table: {len(table)} prefixes "
+          f"(built in {time.perf_counter() - t0:.2f}s)")
     lookup_throughput(table, registry)
 
     print(f"engine comparison: {HEADLINE['trace']}, ψ={HEADLINE['n_lcs']}, "
@@ -201,6 +224,8 @@ def main() -> None:
 
     if "--profile" in sys.argv[1:]:
         profile_scalar(packets, table)
+
+    print(f"peak RSS: {peak_rss_mib():.0f} MiB")
 
 
 if __name__ == "__main__":

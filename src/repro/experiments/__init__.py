@@ -20,6 +20,7 @@ from .ablations import (
     run_scenario_matrix,
 )
 from .churn import run_churn
+from .cram_frontier import run_cram_frontier
 from .failover import run_failover
 from .ipv6_storage import run_ipv6_storage
 from .lc_fill import run_lc_fill_sweep
@@ -69,6 +70,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "failover": run_failover,
     "strides": run_stride_optimization,
     "rt1-trend": run_rt1_trend,
+    "cram-frontier": run_cram_frontier,
 }
 
 __all__ = [
@@ -106,4 +108,5 @@ __all__ = [
     "run_failover",
     "run_stride_optimization",
     "run_rt1_trend",
+    "run_cram_frontier",
 ]

@@ -1,0 +1,166 @@
+"""E20 — The CRAM memory-vs-speed frontier at full-table scale.
+
+The paper sizes each line card's CRAM for its partition of the routing
+table (Tables 2–4) and argues SPAL's partitioning keeps per-LC memory
+small while the LR-cache keeps lookups fast.  This experiment maps that
+frontier over synthetic full tables — 10k prefixes up to the modern
+million-route mark — using the packed node-pool matchers (PR 7):
+
+* **storage frontier** — per matcher and table size: build time and
+  measured pool bytes per prefix (``pool_bytes``, the live NumPy
+  backing arrays) next to the idealized hardware model
+  (``storage_bytes``);
+* **partition frontier** — per table size and ψ: the *largest* per-LC
+  packed Lulea pool, i.e. the CRAM a line card must actually provision;
+* **speed** — a streamed simulation (``PacketStream`` chunks, O(chunk)
+  memory) per (size, ψ) point, reporting simulator events per second so
+  memory savings can be read against lookup throughput.
+
+Default scale sweeps 10k/50k prefixes; ``REPRO_PAPER_SCALE=1`` extends
+to 200k, and ``REPRO_CRAM_1M=1`` adds the million-prefix point (minutes
+of build time for the slower tries).  Render the figure with
+``scripts/fig_cram_frontier.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from ..core.config import CacheConfig, SpalConfig
+from ..core.partition import partition_table
+from ..routing.synthetic import make_full_v4
+from ..sim.spal_sim import SpalSimulator
+from ..sim.streaming import PacketStream
+from ..tries.binary_trie import BinaryTrie
+from ..tries.lc_trie import LCTrie
+from ..tries.lulea import LuleaTrie
+from ..tries.multibit import MultibitTrie
+from ..tries.reference import HashReferenceMatcher
+from .common import ExperimentResult, default_packets_per_lc, paper_scale
+
+MATCHERS = (
+    ("Lulea", LuleaTrie),
+    ("LC-trie", LCTrie),
+    ("multibit", MultibitTrie),
+    ("binary", BinaryTrie),
+    ("REF", HashReferenceMatcher),
+)
+
+PSIS = (4, 16)
+
+
+def _sizes() -> List[int]:
+    override = os.environ.get("REPRO_CRAM_SIZES")
+    if override:
+        return [int(s) for s in override.split(",") if s.strip()]
+    sizes = [10_000, 50_000]
+    if paper_scale():
+        sizes.append(200_000)
+    if os.environ.get("REPRO_CRAM_1M", "") not in ("", "0", "false"):
+        sizes.append(1_000_000)
+    return sizes
+
+
+def _hot_stream(lc: int, n: int, hot: int = 512) -> PacketStream:
+    """95 %-hot synthetic traffic, generated chunk by chunk — the
+    cache-effective regime the paper's traces sit in, without ever
+    materializing the trace."""
+    hot_set = np.random.default_rng(lc).integers(
+        0, 1 << 32, size=hot, dtype=np.uint64
+    )
+
+    def make_chunk(start: int, count: int) -> np.ndarray:
+        rng = np.random.default_rng((lc, start))
+        cold = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+        pick = rng.random(count) < 0.95
+        return np.where(
+            pick, hot_set[rng.integers(0, hot, size=count)], cold
+        )
+
+    return PacketStream.from_generator(n, make_chunk)
+
+
+def _events_per_second(table, psi: int, packets_per_lc: int) -> float:
+    config = SpalConfig(
+        n_lcs=psi,
+        cache=CacheConfig(n_blocks=1024, victim_blocks=16),
+        fe_lookup_cycles=5,
+    )
+    sim = SpalSimulator(table, config=config)
+    sim.run(
+        [_hot_stream(lc, packets_per_lc) for lc in range(psi)],
+        engine="array",
+    )
+    run_s = sim.phase_seconds.get("run", 0.0) or 1e-9
+    return sim.queue.processed / run_s
+
+
+def run_cram_frontier(
+    sizes: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """E20: build time, bytes/prefix and streamed events/s over ψ × size."""
+    result = ExperimentResult(
+        "E20",
+        "CRAM memory-vs-speed frontier: packed pools and streamed "
+        "simulation from 10k to 1M prefixes",
+    )
+    sizes = list(sizes) if sizes else _sizes()
+    rows: List[Dict[str, object]] = []
+    packets_per_lc = max(2_000, default_packets_per_lc() // 10)
+
+    for size in sizes:
+        table = make_full_v4(size=size)
+        n = len(table)
+        for name, factory in MATCHERS:
+            t0 = time.perf_counter()
+            matcher = factory(table)
+            build_s = time.perf_counter() - t0
+            rows.append(
+                {
+                    "section": "storage",
+                    "size": n,
+                    "matcher": name,
+                    "psi": 1,
+                    "build_s": round(build_s, 3),
+                    "pool_B_per_prefix": round(matcher.pool_bytes() / n, 1),
+                    "model_B_per_prefix": round(
+                        matcher.storage_bytes() / n, 1
+                    ),
+                }
+            )
+            del matcher
+        for psi in PSIS:
+            plan = partition_table(table, psi)
+            t0 = time.perf_counter()
+            part_pools = [
+                LuleaTrie(t).pool_bytes() for t in plan.tables
+            ]
+            build_s = time.perf_counter() - t0
+            eps = _events_per_second(table, psi, packets_per_lc)
+            rows.append(
+                {
+                    "section": "frontier",
+                    "size": n,
+                    "matcher": "Lulea",
+                    "psi": psi,
+                    "build_s": round(build_s, 3),
+                    "max_lc_pool_kb": round(max(part_pools) / 1024.0, 1),
+                    "pool_B_per_prefix": round(max(part_pools) / n, 1),
+                    "events_per_s": int(eps),
+                }
+            )
+
+    result.rows = rows
+    headers = [
+        "section", "size", "matcher", "psi", "build_s",
+        "pool_B_per_prefix", "max_lc_pool_kb", "events_per_s",
+    ]
+    result.rendered = render_table(
+        headers, [[r.get(h, "") for h in headers] for r in rows]
+    )
+    return result

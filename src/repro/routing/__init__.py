@@ -2,7 +2,10 @@
 
 from .prefix import IPV4_WIDTH, IPV6_WIDTH, WILDCARD, Prefix, format_ipv4, parse_ipv4
 from .table import NO_ROUTE, NextHop, RoutingTable
+from .arraytable import ArrayRoutingTable, table_columns
 from .synthetic import (
+    FULL_V4_PROFILE,
+    FULL_V4_SIZE,
     RT1_PROFILE,
     RT1_SIZE,
     RT2_PROFILE,
@@ -10,11 +13,19 @@ from .synthetic import (
     TableProfile,
     addresses_matching,
     generate_table,
+    make_full_v4,
     make_rt1,
     make_rt2,
     random_small_table,
 )
-from .ipv6 import IPV6_TIERS, ipv6_addresses_matching, make_ipv6_table
+from .ipv6 import (
+    FULL_V6_SIZE,
+    IPV6_TIERS,
+    SHIP_2026_TIERS,
+    ipv6_addresses_matching,
+    make_full_v6,
+    make_ipv6_table,
+)
 from .aggregate import aggregate_table, aggregation_ratio
 from .updates import RouteUpdate, UpdateMix, generate_updates
 from .churn import ChurnEvent, ChurnSchedule, generate_churn
@@ -30,18 +41,26 @@ __all__ = [
     "NO_ROUTE",
     "NextHop",
     "RoutingTable",
+    "ArrayRoutingTable",
+    "table_columns",
     "TableProfile",
     "RT1_PROFILE",
     "RT2_PROFILE",
     "RT1_SIZE",
     "RT2_SIZE",
+    "FULL_V4_PROFILE",
+    "FULL_V4_SIZE",
     "generate_table",
     "make_rt1",
     "make_rt2",
+    "make_full_v4",
     "random_small_table",
     "addresses_matching",
     "IPV6_TIERS",
+    "SHIP_2026_TIERS",
+    "FULL_V6_SIZE",
     "make_ipv6_table",
+    "make_full_v6",
     "ipv6_addresses_matching",
     "RouteUpdate",
     "UpdateMix",

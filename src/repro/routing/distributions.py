@@ -71,6 +71,39 @@ FUNET_1997: Mapping[int, float] = {
 }
 
 
+#: A 2026-era full-feed IPv4 table (~1M prefixes): /24 still dominates
+#: (deaggregation for traffic engineering), the /22–/23 band has grown
+#: with IPv4 transfer-market carve-outs, and the host-route tail persists.
+#: Loosely shaped after current potaroo.net BGP reports.
+FULLBGP_2026: Mapping[int, float] = {
+    8: 0.0006,
+    9: 0.0004,
+    10: 0.0010,
+    11: 0.0012,
+    12: 0.0030,
+    13: 0.0060,
+    14: 0.0110,
+    15: 0.0180,
+    16: 0.0540,
+    17: 0.0230,
+    18: 0.0390,
+    19: 0.0550,
+    20: 0.0560,
+    21: 0.0580,
+    22: 0.1250,
+    23: 0.0980,
+    24: 0.4250,
+    25: 0.0030,
+    26: 0.0030,
+    27: 0.0020,
+    28: 0.0020,
+    29: 0.0040,
+    30: 0.0040,
+    31: 0.0008,
+    32: 0.0070,
+}
+
+
 def normalize(histogram: Mapping[int, float]) -> Dict[int, float]:
     """Return the histogram scaled to sum to 1.0."""
     total = float(sum(histogram.values()))

@@ -63,6 +63,123 @@ def make_ipv6_table(
     return table
 
 
+#: A 2026-era IPv6 full feed (~200k routes), shaped per the SHIP paper's
+#: characterization: /48 site routes now outnumber /32 LIR allocations,
+#: with a growing /40–/44 band from provider sub-assignments.
+SHIP_2026_TIERS: Mapping[int, float] = {
+    16: 0.002,
+    20: 0.003,
+    24: 0.008,
+    28: 0.015,
+    29: 0.040,
+    32: 0.220,
+    36: 0.060,
+    40: 0.075,
+    44: 0.070,
+    48: 0.430,
+    56: 0.025,
+    64: 0.052,
+}
+
+#: Route count of the 2026 IPv6 full-feed stand-in.
+FULL_V6_SIZE = 200_000
+
+
+def make_full_v6(
+    n_prefixes: int = FULL_V6_SIZE,
+    seed: int = 9,
+    tiers: Optional[Mapping[int, float]] = None,
+    next_hop_count: int = 64,
+    include_default: bool = True,
+) -> RoutingTable:
+    """A 2026-era full IPv6 feed stand-in (200,000 prefixes by default).
+
+    Array-native (unlike :func:`make_ipv6_table`, which inserts one
+    ``Prefix`` at a time): lengths and both 64-bit halves of each value
+    are drawn in bulk, masked and deduplicated vectorized, and the result
+    is a columnar :class:`~repro.routing.arraytable.ArrayRoutingTable`
+    whose values are Python ints (128 bits exceed numpy dtypes, so the
+    value column is a list).  Deterministic given ``seed``.
+    """
+    if n_prefixes < 0:
+        raise ValueError("n_prefixes must be non-negative")
+    rng = np.random.default_rng(seed)
+    tiers = dict(tiers or SHIP_2026_TIERS)
+    tier_lengths = np.array(sorted(tiers), dtype=np.int64)
+    probs = np.array([tiers[int(l)] for l in tier_lengths], dtype=np.float64)
+    probs /= probs.sum()
+
+    kept_hi: list[np.ndarray] = []
+    kept_lo: list[np.ndarray] = []
+    kept_len: list[np.ndarray] = []
+    kept_hop: list[np.ndarray] = []
+    seen_keys: Optional[np.ndarray] = None
+    count = 0
+    need = n_prefixes
+    while count < n_prefixes:
+        # Oversample slightly: collisions are rare outside the dense /32
+        # tier, so one extra round normally finishes the job.
+        batch = max(1024, int((need - count + 7) * 1.05))
+        lengths = rng.choice(tier_lengths, size=batch, p=probs)
+        hi = rng.integers(0, 1 << 64, size=batch, dtype=np.uint64)
+        lo = rng.integers(0, 1 << 64, size=batch, dtype=np.uint64)
+        # Root in 2000::/3: force the top three bits of ``hi`` to 001.
+        hi = (hi & np.uint64((1 << 61) - 1)) | np.uint64(1 << 61)
+        # Mask host bits per length (values are split as hi:64 | lo:64).
+        # Shift counts stay uint64 throughout — mixed int64/uint64 numpy
+        # arithmetic silently promotes to float64 and corrupts the bits.
+        hi_shift = (64 - np.minimum(lengths, 64)).astype(np.uint64)
+        lo_keep = np.maximum(lengths - 64, 0)
+        lo_shift = (64 - lo_keep).astype(np.uint64)
+        hi = (hi >> hi_shift) << hi_shift
+        lo = np.where(
+            lo_keep == 0,
+            np.uint64(0),
+            (lo >> lo_shift) << lo_shift,
+        )
+        # Dedup within the batch and against prior rounds via a composite
+        # sort key; the (hi, lo, length) triple identifies a route.  Keep
+        # first occurrences in draw order for determinism.
+        keys = np.stack([hi, lo, lengths.astype(np.uint64)], axis=1)
+        all_keys = (
+            keys if seen_keys is None else np.concatenate([seen_keys, keys])
+        )
+        _, first = np.unique(all_keys, axis=0, return_index=True)
+        base = 0 if seen_keys is None else len(seen_keys)
+        fresh = np.sort(first[first >= base]) - base
+        if fresh.size > need - count:
+            fresh = fresh[: need - count]
+        kept_hi.append(hi[fresh])
+        kept_lo.append(lo[fresh])
+        kept_len.append(lengths[fresh])
+        kept_hop.append(
+            rng.integers(1, next_hop_count + 1, size=batch, dtype=np.int64)[
+                fresh
+            ]
+        )
+        seen_keys = np.concatenate(
+            [all_keys[:base], keys[fresh]]
+        )
+        count += int(fresh.size)
+
+    hi = np.concatenate(kept_hi) if kept_hi else np.empty(0, dtype=np.uint64)
+    lo = np.concatenate(kept_lo) if kept_lo else np.empty(0, dtype=np.uint64)
+    lens = (
+        np.concatenate(kept_len) if kept_len else np.empty(0, dtype=np.int64)
+    )
+    hops = (
+        np.concatenate(kept_hop) if kept_hop else np.empty(0, dtype=np.int64)
+    )
+    values = [
+        (int(h) << 64) | int(l) for h, l in zip(hi.tolist(), lo.tolist())
+    ]
+    if include_default:
+        values.append(0)
+        lens = np.concatenate([lens, np.zeros(1, dtype=np.int64)])
+        hops = np.concatenate([hops, np.zeros(1, dtype=np.int64)])
+    return RoutingTable.from_arrays(values, lens, hops, width=IPV6_WIDTH)
+
+
 def ipv6_addresses_matching(
     table: RoutingTable, count: int, seed: int = 0
 ) -> list[int]:

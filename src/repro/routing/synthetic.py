@@ -25,13 +25,21 @@ from typing import Mapping, Optional
 
 import numpy as np
 
-from .distributions import BACKBONE_2003, FUNET_1997, sample_lengths
+from .distributions import (
+    BACKBONE_2003,
+    FULLBGP_2026,
+    FUNET_1997,
+    sample_lengths,
+)
 from .prefix import IPV4_WIDTH, Prefix
 from .table import RoutingTable
 
 #: Number of prefixes in the paper's tables.
 RT1_SIZE = 41_709
 RT2_SIZE = 140_838
+
+#: A 2026 full IPv4 BGP feed (potaroo.net order of magnitude).
+FULL_V4_SIZE = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -98,6 +106,15 @@ RT2_PROFILE = TableProfile(
     next_hop_count=64,
 )
 
+#: A 2026 full-feed IPv4 table: ~1M prefixes, deaggregation-heavy (the
+#: exception fraction reflects the modern more-specific churn layer).
+FULL_V4_PROFILE = TableProfile(
+    size=FULL_V4_SIZE,
+    length_histogram=FULLBGP_2026,
+    exception_fraction=0.35,
+    next_hop_count=64,
+)
+
 
 def generate_table(
     profile: TableProfile,
@@ -111,11 +128,17 @@ def generate_table(
     the sampled length.  Pass 2 creates exceptions: it picks a random
     existing prefix and extends it with random bits to a greater sampled
     length, producing the nested more-specifics that dominate real tables.
+
+    Both passes run vectorized and the result is an array-backed
+    :class:`~repro.routing.arraytable.ArrayRoutingTable` — no per-prefix
+    ``Prefix`` objects are materialised, which is what makes the
+    million-prefix full-table profiles feasible.  RNG draw order and
+    insertion order are bit-identical to the original scalar generator,
+    so seeded tables are unchanged.
     """
     if width != IPV4_WIDTH:
         raise ValueError("generate_table currently targets IPv4 width")
     rng = np.random.default_rng(seed)
-    table = RoutingTable(width)
 
     blocks = sorted(profile.top_blocks)
     block_weights = np.array(
@@ -136,52 +159,116 @@ def generate_table(
     rng.shuffle(agg_lengths)
     rng.shuffle(exc_lengths)
 
-    parents: list[Prefix] = []
-
-    # Pass 1: standalone aggregates.
+    # Pass 1: standalone aggregates.  A packed ``(value << 6) | length``
+    # key identifies a route (values are < 2^32, lengths < 2^6); keeping
+    # the *first* occurrence of each key in draw order reproduces the
+    # scalar loop's "insert if absent" semantics exactly.
     chosen_blocks = rng.choice(blocks_arr, size=n_aggregates, p=block_weights)
     rand_bits = rng.integers(0, 1 << 24, size=n_aggregates, dtype=np.int64)
     hops = rng.integers(1, profile.next_hop_count + 1, size=profile.size)
-    for i in range(n_aggregates):
-        length = int(agg_lengths[i])
-        value = (int(chosen_blocks[i]) << 24) | int(rand_bits[i])
-        mask = ((1 << length) - 1) << (width - length) if length else 0
-        prefix = Prefix(value & mask, length, width)
-        if table.get(prefix) is None:
-            table.add(prefix, int(hops[i]))
-            parents.append(prefix)
+    raw1 = (chosen_blocks.astype(np.int64) << 24) | rand_bits
+    masks1 = _length_masks(agg_lengths, width)
+    val1 = raw1 & masks1
+    key1 = (val1 << 6) | agg_lengths
+    keep1 = _first_occurrences(key1)
+    parents_v = val1[keep1]
+    parents_l = agg_lengths[keep1]
+    parents_h = hops[:n_aggregates][keep1]
+    key1_kept = key1[keep1]
 
-    # Pass 2: exceptions nested under random existing prefixes.
-    if parents:
-        parent_idx = rng.integers(0, len(parents), size=n_exceptions)
+    # Pass 2: exceptions nested under random existing prefixes (the
+    # ``parents`` of pass 1, in insertion order).
+    if parents_v.size:
+        parent_idx = rng.integers(0, parents_v.size, size=n_exceptions)
         extra_bits = rng.integers(0, 1 << 32, size=n_exceptions, dtype=np.int64)
-        for i in range(n_exceptions):
-            parent = parents[int(parent_idx[i])]
-            length = int(exc_lengths[i])
-            if length <= parent.length:
-                length = min(parent.length + 1 + int(extra_bits[i]) % 8, width)
-            add = int(extra_bits[i]) & ((1 << (length - parent.length)) - 1)
-            value = parent.value | (add << (width - length))
-            prefix = Prefix(value, length, width)
-            if table.get(prefix) is None:
-                table.add(prefix, int(hops[n_aggregates + i]))
+        pv = parents_v[parent_idx]
+        pl = parents_l[parent_idx]
+        exc_l = np.where(
+            exc_lengths <= pl,
+            np.minimum(pl + 1 + (extra_bits % 8), width),
+            exc_lengths,
+        )
+        add = extra_bits & ((np.int64(1) << (exc_l - pl)) - 1)
+        val2 = pv | (add << (width - exc_l))
+        key2 = (val2 << 6) | exc_l
+        # Deduplicate against pass 1's kept routes *and* earlier pass-2
+        # rows: first occurrence over the concatenation, restricted to
+        # the pass-2 segment.
+        keep2 = _first_occurrences(np.concatenate([key1_kept, key2]))
+        keep2 = keep2[keep2 >= key1_kept.size] - key1_kept.size
+        val2_kept = val2[keep2]
+        len2_kept = exc_l[keep2]
+        hop2_kept = hops[n_aggregates:][keep2]
+    else:
+        val2_kept = np.empty(0, dtype=np.int64)
+        len2_kept = np.empty(0, dtype=np.int64)
+        hop2_kept = np.empty(0, dtype=np.int64)
+
+    out_v = [parents_v, val2_kept]
+    out_l = [parents_l, len2_kept]
+    out_h = [parents_h, hop2_kept]
+    count = int(parents_v.size + val2_kept.size)
 
     # Top up to the exact requested size (collisions above lose a few).
+    # The deficit is small, so this stays a scalar loop — but against a
+    # packed-key set, not a Prefix-keyed dict.
+    seen = set(key1_kept.tolist())
+    seen.update((val2_kept << 6 | len2_kept).tolist())
     top_up_rng = np.random.default_rng(seed + 1)
-    while len(table) < profile.size:
+    tv: list[int] = []
+    tl: list[int] = []
+    th: list[int] = []
+    while count < profile.size:
         length = int(
             sample_lengths(profile.length_histogram, 1, top_up_rng)[0]
         )
         block = int(top_up_rng.choice(blocks_arr, p=block_weights))
         value = (block << 24) | int(top_up_rng.integers(0, 1 << 24))
         mask = ((1 << length) - 1) << (width - length) if length else 0
-        prefix = Prefix(value & mask, length, width)
-        if table.get(prefix) is None:
-            table.add(prefix, int(top_up_rng.integers(1, profile.next_hop_count + 1)))
+        value &= mask
+        key = (value << 6) | length
+        if key not in seen:
+            seen.add(key)
+            tv.append(value)
+            tl.append(length)
+            th.append(int(top_up_rng.integers(1, profile.next_hop_count + 1)))
+            count += 1
+    out_v.append(np.array(tv, dtype=np.int64))
+    out_l.append(np.array(tl, dtype=np.int64))
+    out_h.append(np.array(th, dtype=np.int64))
 
     if profile.include_default:
-        table.update(Prefix.default(width), 0)
-    return table
+        # Sampled lengths are always >= 8, so 0.0.0.0/0 cannot collide.
+        out_v.append(np.zeros(1, dtype=np.int64))
+        out_l.append(np.zeros(1, dtype=np.int64))
+        out_h.append(np.zeros(1, dtype=np.int64))
+
+    from .arraytable import ArrayRoutingTable
+
+    return ArrayRoutingTable(
+        np.concatenate(out_v).astype(np.uint64),
+        np.concatenate(out_l),
+        np.concatenate(out_h).astype(np.int64),
+        width,
+        validate=False,
+    )
+
+
+def _length_masks(lengths: np.ndarray, width: int) -> np.ndarray:
+    """Network masks for an array of prefix lengths (int64, width <= 32)."""
+    return np.where(
+        lengths == 0,
+        np.int64(0),
+        ((np.int64(1) << lengths) - 1) << (width - lengths),
+    )
+
+
+def _first_occurrences(keys: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct key, ascending —
+    i.e. the rows a sequential "insert if absent" loop would keep."""
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return first
 
 
 def make_rt1(seed: int = 1, size: Optional[int] = None) -> RoutingTable:
@@ -193,6 +280,19 @@ def make_rt1(seed: int = 1, size: Optional[int] = None) -> RoutingTable:
 def make_rt2(seed: int = 2, size: Optional[int] = None) -> RoutingTable:
     """The RT_2 stand-in (AS1221-like, 140,838 prefixes by default)."""
     profile = RT2_PROFILE if size is None else _resized(RT2_PROFILE, size)
+    return generate_table(profile, seed=seed)
+
+
+def make_full_v4(seed: int = 7, size: Optional[int] = None) -> RoutingTable:
+    """A 2026-era full IPv4 feed stand-in (1,000,000 prefixes by default).
+
+    Fully array-native: builds in seconds and returns a columnar
+    :class:`~repro.routing.arraytable.ArrayRoutingTable`, so no
+    per-prefix objects exist until a consumer asks for them.
+    """
+    profile = (
+        FULL_V4_PROFILE if size is None else _resized(FULL_V4_PROFILE, size)
+    )
     return generate_table(profile, seed=seed)
 
 

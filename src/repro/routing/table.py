@@ -131,6 +131,27 @@ class RoutingTable:
         return table
 
     @classmethod
+    def from_arrays(
+        cls,
+        values,
+        lengths,
+        hops,
+        width: int = IPV4_WIDTH,
+    ) -> "RoutingTable":
+        """Build a table from parallel (value, length, next-hop) columns.
+
+        Returns an :class:`~repro.routing.arraytable.ArrayRoutingTable`:
+        columnar storage with no per-prefix objects until a consumer
+        needs them — the construction path for full-BGP-scale synthetic
+        snapshots.  Columns are validated (range, host bits, duplicates)
+        and define the table's iteration order.  For widths above 64
+        bits pass ``values`` as a list of Python ints.
+        """
+        from .arraytable import ArrayRoutingTable
+
+        return ArrayRoutingTable(values, lengths, hops, width)
+
+    @classmethod
     def from_strings(
         cls,
         routes: Iterable[Tuple[str, NextHop]],

@@ -11,9 +11,13 @@ from .array_engine import ArrayEngine
 from .engine import EventQueue, Resource
 from .results import SimulationResult
 from .spal_sim import SpalSimulator
+from .streaming import DEFAULT_CHUNK, PacketStream, random_stream
 
 __all__ = [
     "ArrayEngine",
+    "DEFAULT_CHUNK",
+    "PacketStream",
+    "random_stream",
     "EventQueue",
     "Resource",
     "SimulationResult",

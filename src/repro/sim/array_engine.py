@@ -55,7 +55,7 @@ from ..errors import (
     SimulationError,
     UnreachablePatternError,
 )
-from ..traffic.packets import arrival_times
+from ..traffic.packets import ArrivalClock, arrival_times
 
 #: Bits reserved for the event sequence number in the packed key
 #: ``(cycle << _SEQ_BITS) | seq``.  Keys are Python ints, so the cycle
@@ -139,6 +139,33 @@ class _PacketSeq(_SequenceABC):
         pkt.pid = p if st.tracing else -1
         pkt.served = st.served[p]
         return pkt
+
+
+class _CountSeq(_SequenceABC):
+    """Count-only stand-in for ``sim.completed`` / ``sim.dropped_packets``
+    after a streamed run.
+
+    The streaming engine recycles per-packet state as packets retire, so
+    only the totals survive the run.  ``len()`` (and truthiness) work —
+    that is all the conservation check, warmup check and result assembly
+    need — while element access fails loudly so a consumer that wants
+    per-packet introspection is pointed at the materialized engine paths.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int):
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        raise TypeError(
+            "streamed runs retain packet counts only; per-packet state is "
+            "recycled as packets retire (run with materialized streams for "
+            "packet introspection)"
+        )
 
 
 class ArrayEngine:
@@ -1400,5 +1427,1584 @@ class ArrayEngine:
             "horizon": horizon,
             "latencies": latencies,
             "failover": failover,
+            "n_events": processed,
+        }
+
+    def run_streamed(
+        self,
+        streams: Sequence[object],
+        speeds: Sequence[int],
+        flush_cycles: Optional[Sequence[int]],
+        update_events: Optional[Sequence[tuple]],
+        warmup_packets: int,
+    ) -> Dict[str, object]:
+        """:meth:`run` with O(window) packet state.
+
+        Arrivals are pulled chunk-by-chunk from
+        :class:`~repro.sim.streaming.PacketStream` sources, merged into
+        bounded windows, and per-packet / per-entry slots are
+        reference-counted and recycled as packets retire — peak memory
+        tracks the chunk size and the in-flight population, never the
+        total packet count.
+
+        Bit-identity with :meth:`run` over the materialized streams rests
+        on three mechanisms:
+
+        * **window boundary** — the minimum over feeds of the last
+          buffered arrival's ``(cycle, global pid)``; every extracted
+          window is a prefix of the one-shot stable sort, so the merged
+          arrival order (and every event key) is chunk-size independent;
+        * **pre-assigned sequence block** — arrival sequence numbers are
+          reserved up front from the *declared* stream lengths, so
+          dynamic events scheduled mid-stream draw the same sequence
+          numbers as in a materialized run;
+        * **pristine-plan precompute** — per-chunk ``(home, hop)``
+          precomputation temporarily restores the partition plan's
+          run-start failure view, so a chunk pulled after a fault event
+          resolves exactly like the up-front whole-trace pass.
+
+        Only ``sim.completed`` / ``sim.dropped_packets`` degrade: they
+        become count-only views (:class:`_CountSeq`) because per-packet
+        state no longer exists once the run finishes.
+        """
+        from .streaming import PacketStream
+
+        sim = self.sim
+        config = sim.config
+        n_lcs = config.n_lcs
+        tr = sim._trace
+        tracing = tr is not None
+        plan = sim.plan
+        epoch0 = sim._plan_epoch
+        home_fn = sim._home
+        matchers = sim._matchers
+        oracle = sim._oracle
+        fabric = sim.fabric
+        fabric_transfer = fabric.transfer
+        inline_fab = (
+            type(fabric).transfer is Fabric.transfer
+            and not fabric._degradations
+        )
+        fab_out = fabric._out_free
+        fab_in = fabric._in_free
+        fab_lat = fabric.latency_cycles()
+        fab_msgs = 0
+        fil = config.fil_overhead_cycles
+        fe_cycles = config.fe_lookup_cycles
+        early_recording = config.early_recording
+        cache_remote = config.cache_remote_results
+        max_retries = config.rem_max_retries
+        on_unreachable = config.on_unreachable
+        partitioned = sim.partitioned
+        timeout = sim._timeout
+        faults = sim._faults
+        frand = sim._fault_rng.random if sim._fault_rng is not None else None
+        ci = sim._churn_invalidated
+        update_policy = sim._update_policy
+        drops_dict = sim.drops
+        m_drops = sim._m_drops
+        # Integer observations accumulate exactly, so observing round-trip
+        # times as they happen matches run()'s end-of-run observe_many.
+        rem_rt_observe = sim._m_rem_rt.observe
+        track_failover = faults is not None or timeout is not None
+
+        # -- flat fault state (written back at the end) -------------------
+        failed = list(sim._failed)
+        fail_at = list(sim._fail_at)
+        down_cycles = list(sim._down_cycles)
+
+        # -- flat resources ----------------------------------------------
+        port_free = [0] * n_lcs
+        port_busy = [0] * n_lcs
+        fe_free = [0] * n_lcs
+        fe_busy = [0] * n_lcs
+        fe_lookups = [0] * n_lcs
+        max_backlog = [0] * n_lcs
+
+        # -- flat cache state --------------------------------------------
+        # Same entry-pool layout as run(), plus a reference count per
+        # entry so ids can be recycled: an entry is referenced by each
+        # set/victim-dict slot holding it, by a packet's reservation
+        # (``p_eid``) and by an in-flight FEDONE event's ``home_eid``.
+        # Identity comparisons between *live* entries stay sound — an id
+        # is only reused after every reference is gone.
+        has_cache = config.cache is not None
+        e_addr: List[int] = []
+        e_idx: List[int] = []
+        e_hop: List[Optional[int]] = []
+        e_mix: List[int] = []
+        e_wait: List[bool] = []
+        e_waiters: List[list] = []
+        e_last: List[int] = []
+        e_ins: List[int] = []
+        e_ref: List[int] = []
+        free_eids: List[int] = []
+        if has_cache:
+            c0 = sim.caches[0]
+            n_sets = c0.n_sets
+            assoc = c0.associativity
+            rem_target = c0.rem_target
+            loc_target = c0.loc_target
+            xor_index = c0.index == "xor"
+            policy_name = c0._policy.name
+            has_victim = c0.victim is not None
+            vc_cap = c0.victim.capacity if has_victim else 0
+            rng_main = [
+                c._policy._rng.randrange if policy_name == "random" else None
+                for c in sim.caches
+            ]
+            rng_vict = [
+                c.victim._policy._rng.randrange
+                if has_victim and policy_name == "random"
+                else None
+                for c in sim.caches
+            ]
+            fsets: List[Dict[int, int]] = [
+                {} for _ in range(n_lcs * n_sets)
+            ]
+            vc: List[Optional[Dict[int, int]]] = [
+                {} if has_victim else None for _ in range(n_lcs)
+            ]
+            stamp = [0] * n_lcs
+            vc_stamp = [0] * n_lcs
+            vc_ins = [0] * n_lcs
+            vc_hits = [0] * n_lcs
+            st_hits = [0] * n_lcs
+            st_whits = [0] * n_lcs
+            st_vhits = [0] * n_lcs
+            st_misses = [0] * n_lcs
+            st_ins = [0] * n_lcs
+            st_evict = [0] * n_lcs
+            st_bypass = [0] * n_lcs
+            st_flush = [0] * n_lcs
+            ev_cnt = [[0, 0] for _ in range(n_lcs)]
+        else:
+            n_sets = assoc = rem_target = loc_target = 0
+            xor_index = has_victim = False
+            policy_name = "lru"
+
+        # -- pre-scheduled events (faults, churn) -------------------------
+        heap: List[tuple] = []
+        fault_h = sim._apply_lc_fault
+        churn_h = sim._apply_churn_update
+        for (t, s, handler, args) in sim.queue.drain():
+            if handler == fault_h:
+                heap.append(((t << _SEQ_BITS) | s, _K_FAULT, args[0], args[1], 0, 0))
+            elif handler == churn_h:
+                heap.append(((t << _SEQ_BITS) | s, _K_UPDATE, args[0], 0, 0, 0))
+            else:
+                raise SimulationError(
+                    f"array engine cannot replay pre-scheduled event {handler!r}; "
+                    "use engine='scalar' for hand-scheduled queues"
+                )
+        seq = sim.queue._seq
+
+        # -- streamed arrival feeds ---------------------------------------
+        t0 = time.perf_counter()
+        streams = [
+            s if isinstance(s, PacketStream) else PacketStream.from_array(s)
+            for s in streams
+        ]
+        lengths = [len(s) for s in streams]
+        total = sum(lengths)
+        pid_base: List[int] = []
+        acc = 0
+        for n in lengths:
+            pid_base.append(acc)
+            acc += n
+        pid_base_arr = np.asarray(pid_base + [0], dtype=np.int64)
+        use_pre = sim._precompute_enabled()
+        pristine_failed = set(plan.failed_lcs) if plan is not None else None
+
+        # Reserve the whole arrival sequence block up front (packet p gets
+        # ``base + p``, lc-major) so dynamic events scheduled mid-stream
+        # draw the same sequence numbers as in a materialized run.
+        base = seq + 1
+        seq += total
+        key_fast = base + total < (1 << _SEQ_BITS)
+        if flush_cycles:
+            for t in flush_cycles:
+                t = int(t)
+                if t < 0:
+                    raise SimulationError(
+                        f"cannot schedule at {t}; current time is 0"
+                    )
+                seq += 1
+                heap.append(((t << _SEQ_BITS) | seq, _K_FLUSH, 0, 0, 0, 0))
+        if update_events:
+            for t, prefix in update_events:
+                t = int(t)
+                if t < 0:
+                    raise SimulationError(
+                        f"cannot schedule at {t}; current time is 0"
+                    )
+                seq += 1
+                heap.append(((t << _SEQ_BITS) | seq, _K_INVAL, prefix, 0, 0, 0))
+        heapify(heap)
+
+        class _Feed:
+            """One LC's chunk iterator + resumable arrival clock, with at
+            most one buffered (not-yet-windowed) segment."""
+
+            __slots__ = ("lc", "it", "clock", "expect", "got", "done",
+                         "t", "g0", "dest", "idx", "homes", "hops")
+
+            def __init__(self, lc: int, stream: PacketStream):
+                self.lc = lc
+                self.it = stream.chunks()
+                self.clock = ArrivalClock(speeds[lc], seed=1000 + lc)
+                self.expect = len(stream)
+                self.got = 0
+                self.done = False
+                self.t: Optional[np.ndarray] = None
+                self.g0 = 0
+                self.dest: Optional[np.ndarray] = None
+                self.idx: Optional[np.ndarray] = None
+                self.homes: Optional[list] = None
+                self.hops: Optional[list] = None
+
+        feeds = [_Feed(lc, s) for lc, s in enumerate(streams)]
+
+        def pull(f: _Feed) -> None:
+            # Append the feed's next non-empty chunk to its buffer; marks
+            # the feed done (validating the declared length) at the end.
+            while True:
+                try:
+                    dests = next(f.it)
+                except StopIteration:
+                    if f.got != f.expect:
+                        raise SimulationError(
+                            f"stream for LC {f.lc} declared {f.expect} "
+                            f"packets but produced {f.got}"
+                        ) from None
+                    f.done = True
+                    return
+                dests = np.asarray(dests)
+                if dests.dtype != object:
+                    dests = dests.astype(np.uint64, copy=False)
+                n = len(dests)
+                if n:
+                    break
+            if f.got + n > f.expect:
+                raise SimulationError(
+                    f"stream for LC {f.lc} declared {f.expect} packets "
+                    f"but produced at least {f.got + n}"
+                )
+            ts = f.clock.next(n)
+            g0 = pid_base[f.lc] + f.got
+            f.got += n
+            idx = None
+            if has_cache:
+                idx = ((dests ^ (dests >> 16)) if xor_index else dests) % n_sets
+            if use_pre:
+                if plan is not None and plan.epoch != epoch0:
+                    # A fault/churn event already mutated the plan; chunk
+                    # precompute must see the run-start view or its homes
+                    # (and unreachable-pattern behavior) would depend on
+                    # when the chunk was pulled.
+                    saved_failed = plan.failed_lcs
+                    saved_epoch = plan.epoch
+                    plan.failed_lcs = set(pristine_failed)
+                    plan.epoch = epoch0
+                    try:
+                        homes, hops = sim._precompute_chunk(f.lc, dests)
+                    finally:
+                        plan.failed_lcs = saved_failed
+                        plan.epoch = saved_epoch
+                else:
+                    homes, hops = sim._precompute_chunk(f.lc, dests)
+                if hops is None:
+                    hops = [None] * n
+            else:
+                homes = [-1] * n
+                hops = [None] * n
+            if f.t is None:
+                f.t = ts
+                f.g0 = g0
+                f.dest = dests
+                f.idx = idx
+                f.homes = homes
+                f.hops = hops
+            else:
+                f.t = np.concatenate([f.t, ts])
+                f.dest = np.concatenate([f.dest, dests])
+                if idx is not None:
+                    f.idx = np.concatenate([f.idx, idx])
+                f.homes = f.homes + homes
+                f.hops = f.hops + hops
+
+        # -- recycled per-packet slots ------------------------------------
+        # Event payloads and waiter lists carry *slot* indices; ``p_gpid``
+        # keeps the true (lc-major) pid for the tracer.  ``p_ref`` counts
+        # outstanding references (in-flight events + waiter-list entries);
+        # a finished packet's slot is recycled once it hits zero.
+        p_gpid: List[int] = []
+        p_dest: List[int] = []
+        p_idx: List[int] = []
+        p_set: List[int] = []
+        p_lc: List[int] = []
+        p_at: List[int] = []
+        p_meas: List[bool] = []
+        p_home: List[int] = []
+        p_hop: List[Optional[int]] = []
+        p_ct: List[int] = []
+        p_eid: List[int] = []
+        p_att: List[int] = []
+        p_drop: List[Optional[str]] = []
+        p_sent: List[int] = []
+        p_served: List[Optional[int]] = []
+        p_ref: List[int] = []
+        free_slots: List[int] = []
+
+        completed_n = 0
+        dropped_n = 0
+        lat_parts: List[np.ndarray] = []
+        lat_cur: List[int] = []
+        failover_list: List[int] = []
+
+        def build_window():
+            # One merged arrival window: top up empty feeds, cut every
+            # buffer at the minimum last-buffered (cycle, pid) key, merge
+            # stably.  Returns (times, keys, slots) or None when drained.
+            for f in feeds:
+                if not f.done and f.t is None:
+                    pull(f)
+            bound = None
+            for f in feeds:
+                if f.done:
+                    continue
+                lt = int(f.t[-1])
+                lp = f.g0 + len(f.t) - 1
+                if bound is None or (lt, lp) < bound:
+                    bound = (lt, lp)
+            parts_t = []
+            parts_p = []
+            parts_d = []
+            parts_i = []
+            parts_lc = []
+            h_cat: list = []
+            o_cat: list = []
+            for f in feeds:
+                if f.t is None:
+                    continue
+                n = len(f.t)
+                if bound is None:
+                    cut = n
+                else:
+                    bt, bp = bound
+                    cut = int(np.searchsorted(f.t, bt, side="right"))
+                    lo = int(np.searchsorted(f.t, bt, side="left"))
+                    if lo < cut:
+                        # At most one arrival per feed sits exactly at the
+                        # boundary cycle (gaps are >= 1); keep it only if
+                        # its pid does not exceed the boundary pid.
+                        cut = min(cut, max(lo, bp - f.g0 + 1))
+                if cut <= 0:
+                    continue
+                parts_t.append(f.t[:cut])
+                parts_p.append(np.arange(f.g0, f.g0 + cut, dtype=np.int64))
+                parts_d.append(f.dest[:cut])
+                if f.idx is not None:
+                    parts_i.append(f.idx[:cut])
+                parts_lc.append(np.full(cut, f.lc, dtype=np.int64))
+                h_cat.extend(f.homes[:cut])
+                o_cat.extend(f.hops[:cut])
+                if cut == n:
+                    f.t = f.dest = f.idx = None
+                    f.homes = f.hops = None
+                else:
+                    f.t = f.t[cut:]
+                    f.g0 += cut
+                    f.dest = f.dest[cut:]
+                    if f.idx is not None:
+                        f.idx = f.idx[cut:]
+                    f.homes = f.homes[cut:]
+                    f.hops = f.hops[cut:]
+            if not parts_t:
+                return None
+            wt = np.concatenate(parts_t)
+            wp = np.concatenate(parts_p)
+            order = np.lexsort((wp, wt))
+            wt = wt[order]
+            wp = wp[order]
+            wlc = np.concatenate(parts_lc)[order]
+            tl = wt.tolist()
+            pl = wp.tolist()
+            dl = np.concatenate(parts_d)[order].tolist()
+            il = (
+                np.concatenate(parts_i)[order].tolist() if parts_i else None
+            )
+            lcl = wlc.tolist()
+            oi = order.tolist()
+            hl = [h_cat[i] for i in oi]
+            opl = [o_cat[i] for i in oi]
+            if warmup_packets > 0:
+                ml = ((wp - pid_base_arr[wlc]) >= warmup_packets).tolist()
+            else:
+                ml = None
+            if key_fast and tl[-1] < (1 << 23):
+                wk = ((wt << _SEQ_BITS) | (wp + base)).tolist()
+            else:
+                wk = [
+                    (t << _SEQ_BITS) | (base + g)
+                    for t, g in zip(tl, pl)
+                ]
+            slots = []
+            for k in range(len(tl)):
+                if free_slots:
+                    sl = free_slots.pop()
+                else:
+                    sl = len(p_dest)
+                    p_gpid.append(0)
+                    p_dest.append(0)
+                    p_idx.append(0)
+                    p_set.append(0)
+                    p_lc.append(0)
+                    p_at.append(0)
+                    p_meas.append(True)
+                    p_home.append(-1)
+                    p_hop.append(None)
+                    p_ct.append(-1)
+                    p_eid.append(-1)
+                    p_att.append(0)
+                    p_drop.append(None)
+                    p_sent.append(-1)
+                    p_served.append(None)
+                    p_ref.append(0)
+                p_gpid[sl] = pl[k]
+                p_dest[sl] = dl[k]
+                lck = lcl[k]
+                p_lc[sl] = lck
+                p_at[sl] = tl[k]
+                p_meas[sl] = True if ml is None else ml[k]
+                p_home[sl] = hl[k]
+                p_hop[sl] = opl[k]
+                if il is not None:
+                    ik = il[k]
+                    p_idx[sl] = ik
+                    p_set[sl] = ik + lck * n_sets
+                p_ct[sl] = -1
+                p_eid[sl] = -1
+                p_att[sl] = 0
+                p_drop[sl] = None
+                p_sent[sl] = -1
+                p_served[sl] = None
+                p_ref[sl] = 0
+                slots.append(sl)
+            return tl, wk, slots
+
+        # -- reference counting -------------------------------------------
+
+        def ederef(e: int) -> None:
+            r = e_ref[e] - 1
+            e_ref[e] = r
+            if r == 0:
+                e_waiters[e] = []
+                free_eids.append(e)
+
+        def pderef(p: int) -> None:
+            r = p_ref[p] - 1
+            p_ref[p] = r
+            if r == 0 and (p_ct[p] >= 0 or p_drop[p] is not None):
+                eid = p_eid[p]
+                if eid >= 0:
+                    p_eid[p] = -1
+                    ederef(eid)
+                free_slots.append(p)
+
+        def maybe_retire(p: int) -> None:
+            if p_ref[p] == 0 and (p_ct[p] >= 0 or p_drop[p] is not None):
+                eid = p_eid[p]
+                if eid >= 0:
+                    p_eid[p] = -1
+                    ederef(eid)
+                free_slots.append(p)
+
+        # -- cache primitives (run()'s, with entry refcounts woven in) ----
+
+        def new_entry(addr, idx, hop, mix, wait, st) -> int:
+            if free_eids:
+                eid = free_eids.pop()
+                e_addr[eid] = addr
+                e_idx[eid] = idx
+                e_hop[eid] = hop
+                e_mix[eid] = mix
+                e_wait[eid] = wait
+                e_waiters[eid] = []
+                e_last[eid] = st
+                e_ins[eid] = st
+                e_ref[eid] = 0
+                return eid
+            e_addr.append(addr)
+            e_idx.append(idx)
+            e_hop.append(hop)
+            e_mix.append(mix)
+            e_wait.append(wait)
+            e_waiters.append([])
+            e_last.append(st)
+            e_ins.append(st)
+            e_ref.append(0)
+            return len(e_addr) - 1
+
+        def choose_victim(lc: int, s: Dict[int, int], incoming_mix: int):
+            vals = list(s.values())
+            evictable = [e for e in vals if not e_wait[e]]
+            if not evictable:
+                return None
+            rem = [e for e in evictable if e_mix[e] == REM]
+            loc = [e for e in evictable if e_mix[e] == LOC]
+            n_rem = sum(1 for e in vals if e_mix[e] == REM)
+            n_loc = len(vals) - n_rem
+            candidates: List[int] = []
+            if n_rem > rem_target and rem:
+                candidates = rem
+            elif n_loc > loc_target and loc:
+                candidates = loc
+            if not candidates:
+                candidates = rem if incoming_mix == REM else loc
+            if not candidates:
+                return None
+            if policy_name == "lru":
+                return min(candidates, key=e_last.__getitem__)
+            if policy_name == "fifo":
+                return min(candidates, key=e_ins.__getitem__)
+            return candidates[rng_main[lc](len(candidates))]
+
+        def vc_insert(lc: int, eid: int) -> None:
+            vc_stamp[lc] = st = vc_stamp[lc] + 1
+            e_last[eid] = st
+            e_ins[eid] = st
+            d = vc[lc]
+            addr = e_addr[eid]
+            if addr in d:
+                old = d[addr]
+                if old != eid:
+                    d[addr] = eid
+                    e_ref[eid] += 1
+                    ederef(old)
+                return
+            if len(d) >= vc_cap:
+                vals = list(d.values())
+                if policy_name == "lru":
+                    victim = min(vals, key=e_last.__getitem__)
+                elif policy_name == "fifo":
+                    victim = min(vals, key=e_ins.__getitem__)
+                else:
+                    victim = vals[rng_vict[lc](len(vals))]
+                del d[e_addr[victim]]
+                ederef(victim)
+            d[addr] = eid
+            e_ref[eid] += 1
+            vc_ins[lc] += 1
+
+        def place(lc: int, eid: int) -> bool:
+            addr = e_addr[eid]
+            s = fsets[e_idx[eid]]
+            existing = s.get(addr)
+            if existing is not None:
+                if e_wait[existing]:
+                    return False
+                if existing != eid:
+                    s[addr] = eid
+                    e_ref[eid] += 1
+                    ederef(existing)
+                return True
+            if len(s) < assoc:
+                s[addr] = eid
+                e_ref[eid] += 1
+                return True
+            victim = choose_victim(lc, s, e_mix[eid])
+            if victim is None:
+                return False
+            del s[e_addr[victim]]
+            st_evict[lc] += 1
+            ev_cnt[lc][e_mix[victim]] += 1
+            if has_victim and not e_wait[victim]:
+                vc_insert(lc, victim)
+            ederef(victim)
+            s[addr] = eid
+            e_ref[eid] += 1
+            return True
+
+        def allocate(lc: int, addr: int, mix: int, idx: int) -> int:
+            existing = fsets[idx].get(addr)
+            if existing is not None and e_wait[existing]:
+                return existing
+            stamp[lc] = st = stamp[lc] + 1
+            eid = new_entry(addr, idx, None, mix, True, st)
+            if place(lc, eid):
+                st_ins[lc] += 1
+                return eid
+            st_bypass[lc] += 1
+            # Bypassed before gaining any reference: recycle immediately.
+            free_eids.append(eid)
+            return -1
+
+        def fill(eid: int, hop: int) -> list:
+            e_hop[eid] = hop
+            e_wait[eid] = False
+            w = e_waiters[eid]
+            e_waiters[eid] = []
+            return w
+
+        def insert_complete(lc: int, addr: int, hop: int, mix: int,
+                            idx: int) -> None:
+            stamp[lc] = st = stamp[lc] + 1
+            eid = new_entry(addr, idx, hop, mix, False, st)
+            if place(lc, eid):
+                st_ins[lc] += 1
+            else:
+                st_bypass[lc] += 1
+                free_eids.append(eid)
+
+        def flush_cache(lc: int) -> None:
+            for s in fsets[lc * n_sets:(lc + 1) * n_sets]:
+                for e in s.values():
+                    ederef(e)
+                s.clear()
+            if has_victim:
+                d = vc[lc]
+                for e in d.values():
+                    ederef(e)
+                d.clear()
+            st_flush[lc] += 1
+
+        def take_waiting(lc: int) -> List[int]:
+            # The popped set references transfer to the returned list; the
+            # caller dereferences each entry after consuming its waiters.
+            out: List[int] = []
+            for s in fsets[lc * n_sets:(lc + 1) * n_sets]:
+                waiting = [a for a, e in s.items() if e_wait[e]]
+                for a in waiting:
+                    out.append(s.pop(a))
+            return out
+
+        def inval_remote(lc: int, predicate, sink) -> int:
+            dropped = 0
+            for s in fsets[lc * n_sets:(lc + 1) * n_sets]:
+                stale = [
+                    a for a, e in s.items()
+                    if e_mix[e] == REM and not e_wait[e] and predicate(a)
+                ]
+                for a in stale:
+                    ederef(s.pop(a))
+                if sink is not None:
+                    sink.extend(stale)
+                dropped += len(stale)
+            if has_victim:
+                d = vc[lc]
+                stale = [
+                    a for a, e in d.items()
+                    if e_mix[e] == REM and predicate(a)
+                ]
+                for a in stale:
+                    ederef(d.pop(a))
+                if sink is not None:
+                    sink.extend(stale)
+                dropped += len(stale)
+            return dropped
+
+        def inval_matching(lc: int, prefix, sink) -> int:
+            matches = prefix.matches
+            dropped = 0
+            for s in fsets[lc * n_sets:(lc + 1) * n_sets]:
+                stale = [
+                    a for a, e in s.items()
+                    if not e_wait[e] and matches(a)
+                ]
+                for a in stale:
+                    ederef(s.pop(a))
+                if sink is not None:
+                    sink.extend(stale)
+                dropped += len(stale)
+            if has_victim:
+                d = vc[lc]
+                stale = [a for a in d if matches(a)]
+                for a in stale:
+                    ederef(d.pop(a))
+                if sink is not None:
+                    sink.extend(stale)
+                dropped += len(stale)
+            return dropped
+
+        def resident_addrs(lc: int) -> List[int]:
+            out = [
+                a
+                for s in fsets[lc * n_sets:(lc + 1) * n_sets]
+                for a, e in s.items()
+                if not e_wait[e]
+            ]
+            if has_victim:
+                out.extend(vc[lc])
+            return out
+
+        # -- packet-flow handlers (run()'s, with refcounts woven in) ------
+
+        def home_of(p: int, lc: int) -> int:
+            h = p_home[p]
+            if h >= 0 and (plan is None or plan.epoch == epoch0):
+                return h
+            if home_fn is None:
+                return lc
+            return home_fn(p_dest[p])
+
+        def note_churn(dest: int, lc: int) -> None:
+            if ci is not None:
+                s = ci[lc]
+                if dest in s:
+                    s.discard(dest)
+                    sim.churn_misses += 1
+                    sim._m_churn_miss.value += 1
+
+        def complete(p: int, when: int, now: int) -> None:
+            nonlocal completed_n
+            if p_ct[p] >= 0 or p_drop[p] is not None:
+                return
+            alc = p_lc[p]
+            if failed[alc]:
+                drop(p, "crash", now)
+                return
+            p_ct[p] = when
+            completed_n += 1
+            if p_meas[p]:
+                lat = when - p_at[p]
+                lat_cur.append(lat)
+                if len(lat_cur) >= 65536:
+                    lat_parts.append(np.asarray(lat_cur, dtype=np.int64))
+                    del lat_cur[:]
+                if track_failover and p_att[p] > 0:
+                    failover_list.append(lat)
+            if tr is not None:
+                tr.record("complete", when, lc=alc, pid=p_gpid[p])
+
+        def drop(p: int, reason: str, now: int) -> None:
+            nonlocal dropped_n
+            if p_ct[p] >= 0 or p_drop[p] is not None:
+                return
+            p_drop[p] = reason
+            drops_dict[reason] += 1
+            m_drops[reason].value += 1
+            dropped_n += 1
+            if tr is not None:
+                tr.record("drop", now, lc=p_lc[p], pid=p_gpid[p],
+                          reason=reason)
+            eid = p_eid[p]
+            if eid >= 0 and e_wait[eid]:
+                if has_cache:
+                    addr = e_addr[eid]
+                    s = fsets[e_idx[eid]]
+                    if s.get(addr) == eid:
+                        del s[addr]
+                        ederef(eid)
+                w = e_waiters[eid]
+                e_waiters[eid] = []
+                for waiter in w:
+                    wp = waiter if waiter >= 0 else ~waiter
+                    drop(wp, reason, now)
+                    pderef(wp)
+
+        def send(src: int, dst: int, when: int, kind: int, a: int, b) -> None:
+            nonlocal seq, fab_msgs
+            if inline_fab:
+                depart = when + fil
+                of = fab_out[src]
+                if of > depart:
+                    depart = of
+                fab_out[src] = depart + 1
+                arrive = depart + fab_lat
+                inf = fab_in[dst]
+                if inf > arrive:
+                    arrive = inf
+                fab_in[dst] = arrive + 1
+                fab_msgs += 1
+                arrive += fil
+            else:
+                arrive = fabric_transfer(src, dst, when + fil) + fil
+            dropped = False
+            if faults is not None:
+                prob = faults.drop_prob_at(when)
+                if prob > 0.0 and frand() < prob:
+                    sim.fabric_dropped_messages += 1
+                    sim._m_fabric_dropped.value += 1
+                    dropped = True
+            if tr is not None:
+                tr.record(
+                    "fabric.send", when, lc=src, pid=p_gpid[a], src=src,
+                    dst=dst, recv=arrive,
+                    kind="request" if kind == _K_REMREQ else "reply",
+                    dropped=dropped,
+                )
+            if not dropped:
+                seq += 1
+                p_ref[a] += 1
+                heappush(heap, ((arrive << _SEQ_BITS) | seq, kind, a, b, 0, 0))
+
+        def fe_request(p: int, lc: int, now: int, origin: int,
+                       home_eid: int) -> None:
+            nonlocal seq
+            nw = now + 1
+            ff = fe_free[lc]
+            start = ff if ff > nw else nw
+            done = start + fe_cycles
+            fe_free[lc] = done
+            fe_busy[lc] += fe_cycles
+            fe_lookups[lc] += 1
+            if tr is not None:
+                tr.record("fe", now, lc=lc, pid=p_gpid[p], start=start,
+                          done=done)
+            backlog = (start - nw) // fe_cycles
+            if backlog > max_backlog[lc]:
+                max_backlog[lc] = backlog
+            seq += 1
+            p_ref[p] += 1
+            if home_eid >= 0:
+                e_ref[home_eid] += 1
+            heappush(
+                heap,
+                ((done << _SEQ_BITS) | seq, _K_FEDONE, p, lc, origin, home_eid),
+            )
+
+        def dispatch(p: int, lc: int, now: int, home: int) -> None:
+            nonlocal seq
+            if home == lc:
+                fe_request(p, lc, now, -1, -1)
+            else:
+                nw = now + 1
+                p_sent[p] = nw
+                send(lc, home, nw, _K_REMREQ, p, home)
+                if timeout is not None:
+                    seq += 1
+                    p_ref[p] += 1
+                    heappush(
+                        heap,
+                        (
+                            ((nw + (timeout << min(p_att[p], 3))) << _SEQ_BITS)
+                            | seq,
+                            _K_TIMEOUT, p, lc, p_att[p], 0,
+                        ),
+                    )
+
+        def miss(p: int, lc: int, now: int) -> None:
+            if tr is not None:
+                tr.record("cache.miss", now, lc=lc, pid=p_gpid[p])
+            note_churn(p_dest[p], lc)
+            home = home_of(p, lc)
+            if has_cache:
+                local = home == lc
+                if local or (early_recording and cache_remote):
+                    eid = allocate(
+                        lc, p_dest[p], LOC if local else REM, p_set[p]
+                    )
+                    p_eid[p] = eid
+                    if eid >= 0:
+                        e_ref[eid] += 1
+            dispatch(p, lc, now, home)
+
+        def probe_tail(p: int, lc: int, addr: int, now: int) -> None:
+            if has_victim:
+                d = vc[lc]
+                eid = d.pop(addr, None)
+                if eid is not None:
+                    # Holding the popped victim-cache reference until the
+                    # branch below is done with the entry.
+                    vc_hits[lc] += 1
+                    st_vhits[lc] += 1
+                    stamp[lc] = tick = stamp[lc] + 1
+                    e_last[eid] = tick
+                    place(lc, eid)
+                    if e_wait[eid]:
+                        if tr is not None:
+                            tr.record("cache.wait", now, lc=lc, pid=p_gpid[p])
+                        e_waiters[eid].append(p)
+                        p_ref[p] += 1
+                    else:
+                        if tr is not None:
+                            tr.record("cache.hit", now, lc=lc, pid=p_gpid[p])
+                        p_served[p] = e_hop[eid]
+                        complete(p, now + 1, now)
+                    ederef(eid)
+                    return
+            st_misses[lc] += 1
+            miss(p, lc, now)
+
+        def probe_at(p: int, lc: int, now: int) -> None:
+            if failed[lc]:
+                drop(p, "crash", now)
+                return
+            addr = p_dest[p]
+            eid = fsets[p_set[p]].get(addr)
+            if eid is not None:
+                stamp[lc] = tick = stamp[lc] + 1
+                e_last[eid] = tick
+                if e_wait[eid]:
+                    st_whits[lc] += 1
+                    if tr is not None:
+                        tr.record("cache.wait", now, lc=lc, pid=p_gpid[p])
+                    e_waiters[eid].append(p)
+                    p_ref[p] += 1
+                else:
+                    st_hits[lc] += 1
+                    if tr is not None:
+                        tr.record("cache.hit", now, lc=lc, pid=p_gpid[p])
+                    p_served[p] = e_hop[eid]
+                    complete(p, now + 1, now)
+                return
+            probe_tail(p, lc, addr, now)
+
+        def release(waiters: list, lc: int, hop: int, now: int) -> None:
+            for waiter in waiters:
+                if waiter < 0:
+                    wp = ~waiter
+                    send(lc, p_lc[wp], now + 1, _K_REPLY, wp, hop)
+                    pderef(wp)
+                else:
+                    p_served[waiter] = hop
+                    complete(waiter, now + 1, now)
+                    pderef(waiter)
+
+        def fe_done(p: int, lc: int, origin: int, home_eid: int,
+                    now: int) -> None:
+            if failed[lc]:
+                if origin < 0 and p_lc[p] == lc:
+                    drop(p, "crash", now)
+                return
+            hop = p_hop[p]
+            if hop is None:
+                hop = matchers[lc].lookup(p_dest[p])
+                if oracle is not None:
+                    expected = oracle.lookup(p_dest[p])
+                    if hop != expected:
+                        raise SimulationError(
+                            f"partition invariant violated at LC {lc}: "
+                            f"lookup({p_dest[p]:#x}) = {hop}, "
+                            f"whole table says {expected}"
+                        )
+            if home_eid >= 0:
+                release(fill(home_eid, hop), lc, hop, now)
+            if origin >= 0:
+                send(lc, origin, now + 1, _K_REPLY, p, hop)
+            elif p_lc[p] == lc:
+                eid = p_eid[p]
+                if eid >= 0 and eid != home_eid and e_wait[eid]:
+                    release(fill(eid, hop), lc, hop, now)
+                p_served[p] = hop
+                complete(p, now + 1, now)
+
+        def remote_request(p: int, home: int, now: int) -> None:
+            nonlocal seq
+            if tr is not None:
+                tr.record("remote.recv", now, lc=home, pid=p_gpid[p])
+            if failed[home]:
+                return
+            if not has_cache:
+                fe_request(p, home, now, p_lc[p], -1)
+                return
+            pf = port_free[home]
+            if pf > now:
+                port_free[home] = pf + 1
+                port_busy[home] += 1
+                seq += 1
+                p_ref[p] += 1
+                heappush(
+                    heap, ((pf << _SEQ_BITS) | seq, _K_RPROBE, p, home, pf, 0)
+                )
+            else:
+                port_free[home] = now + 1
+                port_busy[home] += 1
+                remote_probe_at(p, home, now)
+
+        def remote_probe_at(p: int, home: int, now: int) -> None:
+            if failed[home]:
+                return
+            addr = p_dest[p]
+            fidx = home * n_sets + p_idx[p]
+            eid = fsets[fidx].get(addr)
+            if eid is not None:
+                stamp[home] = tick = stamp[home] + 1
+                e_last[eid] = tick
+                if e_wait[eid]:
+                    st_whits[home] += 1
+                    e_waiters[eid].append(~p)
+                    p_ref[p] += 1
+                else:
+                    st_hits[home] += 1
+                    send(home, p_lc[p], now + 1, _K_REPLY, p, e_hop[eid])
+                return
+            if has_victim:
+                d = vc[home]
+                eid = d.pop(addr, None)
+                if eid is not None:
+                    vc_hits[home] += 1
+                    st_vhits[home] += 1
+                    stamp[home] = tick = stamp[home] + 1
+                    e_last[eid] = tick
+                    place(home, eid)
+                    if e_wait[eid]:
+                        e_waiters[eid].append(~p)
+                        p_ref[p] += 1
+                    else:
+                        send(home, p_lc[p], now + 1, _K_REPLY, p, e_hop[eid])
+                    ederef(eid)
+                    return
+            st_misses[home] += 1
+            note_churn(addr, home)
+            home_eid = allocate(home, addr, LOC, fidx)
+            if home_eid < 0:
+                fe_request(p, home, now, p_lc[p], -1)
+                return
+            e_waiters[home_eid].append(~p)
+            p_ref[p] += 1
+            fe_request(p, home, now, -1, home_eid)
+
+        def reply(p: int, hop: int, now: int) -> None:
+            lc = p_lc[p]
+            if p_sent[p] >= 0:
+                rem_rt_observe(now - p_sent[p])
+                p_sent[p] = -1
+            if tr is not None:
+                tr.record("reply", now, lc=lc, pid=p_gpid[p])
+            if failed[lc]:
+                drop(p, "crash", now)
+                return
+            if has_cache and cache_remote:
+                eid = p_eid[p]
+                if eid >= 0 and e_wait[eid]:
+                    release(fill(eid, hop), lc, hop, now)
+                elif eid < 0 and not early_recording:
+                    insert_complete(lc, p_dest[p], hop, REM, p_set[p])
+            if p_ct[p] < 0:
+                p_served[p] = hop
+                complete(p, now + 1, now)
+
+        def exhausted(p: int, lc: int, now: int) -> None:
+            if on_unreachable == "raise":
+                live = (
+                    plan.live_replicas(p_dest[p]) if plan is not None else []
+                )
+                if live:
+                    raise LookupTimeoutError(
+                        f"lookup({p_dest[p]:#x}) from LC {lc} timed out "
+                        f"{p_att[p]} times with live replicas {live}"
+                    )
+                raise UnreachablePatternError(
+                    f"lookup({p_dest[p]:#x}) from LC {lc}: every replica of "
+                    f"its pattern has failed"
+                )
+            drop(p, "unreachable", now)
+
+        def check_timeout(p: int, lc: int, attempt: int, now: int) -> None:
+            nonlocal seq
+            if (
+                p_ct[p] >= 0
+                or p_drop[p] is not None
+                or p_att[p] != attempt
+            ):
+                return
+            if failed[lc]:
+                drop(p, "crash", now)
+                return
+            p_att[p] += 1
+            if p_att[p] > max_retries:
+                exhausted(p, lc, now)
+                return
+            sim.retries += 1
+            sim._m_retries.value += 1
+            live = (
+                plan.live_replicas(p_dest[p]) if plan is not None else [lc]
+            )
+            if not live:
+                exhausted(p, lc, now)
+                return
+            home = live[(p_dest[p] + p_att[p]) % len(live)]
+            if tr is not None:
+                tr.record("timeout.retry", now, lc=lc, pid=p_gpid[p],
+                          attempt=p_att[p], next_home=home)
+            if home == lc:
+                fe_request(p, lc, now, -1, -1)
+                return
+            nw = now + 1
+            p_sent[p] = nw
+            send(lc, home, nw, _K_REMREQ, p, home)
+            seq += 1
+            p_ref[p] += 1
+            heappush(
+                heap,
+                (
+                    ((nw + (timeout << min(p_att[p], 3))) << _SEQ_BITS) | seq,
+                    _K_TIMEOUT, p, lc, p_att[p], 0,
+                ),
+            )
+
+        # -- faults and churn (run()'s, with refcounts woven in) ----------
+
+        def homed_at(address: int, lc: int) -> bool:
+            try:
+                return plan.home_lc(address) == lc
+            except UnreachablePatternError:
+                return True
+
+        def apply_fault(kind: str, lc: int, now: int) -> None:
+            sim.fault_event_count += 1
+            if tr is not None:
+                tr.record("fault", now, lc=lc, kind=kind)
+            if kind == "fail":
+                if failed[lc]:
+                    return
+                if partitioned and plan is not None:
+                    for i in range(n_lcs):
+                        if i != lc and has_cache and not failed[i]:
+                            inval_remote(
+                                i, lambda addr: homed_at(addr, lc), None
+                            )
+                    plan.fail_lc(lc)
+                failed[lc] = True
+                fail_at[lc] = now
+                if has_cache:
+                    for eid in take_waiting(lc):
+                        w = e_waiters[eid]
+                        e_waiters[eid] = []
+                        for waiter in w:
+                            if waiter < 0:
+                                # Remote waiters survive on their timeout.
+                                pderef(~waiter)
+                                continue
+                            drop(waiter, "crash", now)
+                            pderef(waiter)
+                        ederef(eid)
+            else:
+                if not failed[lc]:
+                    return
+                if partitioned and plan is not None:
+                    plan.restore_lc(lc)
+                if has_cache:
+                    flush_cache(lc)
+                failed[lc] = False
+                down_cycles[lc] += now - fail_at[lc]
+
+        def flush_all(now: int) -> None:
+            if has_cache:
+                for i in range(n_lcs):
+                    flush_cache(i)
+            sim.flushes += 1
+            sim._m_flushes.value += 1
+            if tr is not None:
+                tr.record("flush", now, kind="full")
+
+        def inval_prefix(prefix, now: int) -> None:
+            if has_cache:
+                for i in range(n_lcs):
+                    inval_matching(i, prefix, None)
+            sim.flushes += 1
+            sim._m_flushes.value += 1
+            if tr is not None:
+                tr.record("flush", now, kind="selective")
+
+        def apply_update(update, now: int) -> None:
+            prefix = update.prefix
+            hop = update.next_hop
+            sim.update_events_applied += 1
+            sim._m_updates.value += 1
+            touched = apply_route_update(plan, prefix, hop)
+            for lc in touched:
+                res = matchers[lc].apply_update(prefix, hop)
+                cycles = res.service_cycles
+                sim.update_service_cycles += cycles
+                sim._m_update_cycles.value += cycles
+                if res.kind == "patch":
+                    sim.update_patches += 1
+                    sim._m_update_patches.value += 1
+                else:
+                    sim.update_rebuilds += 1
+                    sim._m_update_rebuilds.value += 1
+                ff = fe_free[lc]
+                start = ff if ff > now else now
+                fe_free[lc] = start + cycles
+                fe_busy[lc] += cycles
+            if oracle is not None:
+                oracle.apply_update(prefix, hop)
+            if tr is not None:
+                tr.record(
+                    "update", now, lc=touched[0] if touched else -1,
+                    kind="withdraw" if hop is None else "announce",
+                    prefix=str(prefix), touched=len(touched),
+                )
+            if not touched:
+                return
+            dropped = 0
+            if update_policy == "flush":
+                if has_cache:
+                    for i in range(n_lcs):
+                        resident = resident_addrs(i)
+                        ci[i].update(resident)
+                        dropped += len(resident)
+                        flush_cache(i)
+            else:
+                touched_set = set(touched)
+                if has_cache:
+                    for i in range(n_lcs):
+                        sink: list = []
+                        if update_policy == "selective" or i in touched_set:
+                            inval_matching(i, prefix, sink)
+                        else:
+                            inval_remote(i, prefix.matches, sink)
+                        ci[i].update(sink)
+                        dropped += len(sink)
+            sim.flushes += 1
+            sim._m_flushes.value += 1
+            if tr is not None:
+                tr.record("flush", now, kind=update_policy)
+            sim.invalidation_entries_dropped += dropped
+            sim._m_inval_dropped.value += dropped
+            origin = touched[0]
+            msgs = 0
+            for dst in range(n_lcs):
+                if dst == origin:
+                    continue
+                fabric_transfer(origin, dst, now + fil)
+                msgs += 1
+            sim.invalidation_messages += msgs
+            sim._m_inval_msgs.value += msgs
+
+        sim.phase_seconds["schedule"] = time.perf_counter() - t0
+
+        # -- the merged event loop (windowed) -----------------------------
+        t0 = time.perf_counter()
+        processed = 0
+        now = 0
+        ai = 0
+        n_arr = 0
+        arr_t: List[int] = []
+        arr_key: List[int] = []
+        arr_slot: List[int] = []
+        feeding = True
+        while True:
+            if ai >= n_arr and feeding:
+                win = build_window()
+                if win is None:
+                    feeding = False
+                else:
+                    arr_t, arr_key, arr_slot = win
+                    ai = 0
+                    n_arr = len(arr_t)
+                continue
+            if ai < n_arr:
+                ak = arr_key[ai]
+                if heap and heap[0][0] < ak:
+                    ev = heappop(heap)
+                elif tracing:
+                    now = ak >> _SEQ_BITS
+                    processed += 1
+                    p = arr_slot[ai]
+                    ai += 1
+                    lc = p_lc[p]
+                    tr.record("ingress", now, lc=lc, pid=p_gpid[p],
+                              dest=p_dest[p])
+                    if failed[lc]:
+                        drop(p, "ingress", now)
+                        maybe_retire(p)
+                        continue
+                    if not has_cache:
+                        dispatch(p, lc, now, home_of(p, lc))
+                        maybe_retire(p)
+                        continue
+                    pf = port_free[lc]
+                    if pf > now:
+                        port_free[lc] = pf + 1
+                        port_busy[lc] += 1
+                        seq += 1
+                        p_ref[p] += 1
+                        heappush(
+                            heap,
+                            ((pf << _SEQ_BITS) | seq, _K_PROBE, p, lc, pf, 0),
+                        )
+                        continue
+                    port_free[lc] = now + 1
+                    port_busy[lc] += 1
+                    addr = p_dest[p]
+                    eid = fsets[p_set[p]].get(addr)
+                    if eid is not None:
+                        stamp[lc] = tick = stamp[lc] + 1
+                        e_last[eid] = tick
+                        if e_wait[eid]:
+                            st_whits[lc] += 1
+                            tr.record("cache.wait", now, lc=lc, pid=p_gpid[p])
+                            e_waiters[eid].append(p)
+                            p_ref[p] += 1
+                        else:
+                            st_hits[lc] += 1
+                            tr.record("cache.hit", now, lc=lc, pid=p_gpid[p])
+                            p_served[p] = e_hop[eid]
+                            p_ct[p] = now + 1
+                            completed_n += 1
+                            if p_meas[p]:
+                                lat_cur.append(1)
+                                if len(lat_cur) >= 65536:
+                                    lat_parts.append(
+                                        np.asarray(lat_cur, dtype=np.int64)
+                                    )
+                                    del lat_cur[:]
+                            tr.record("complete", now + 1, lc=lc,
+                                      pid=p_gpid[p])
+                            free_slots.append(p)
+                        continue
+                    probe_tail(p, lc, addr, now)
+                    maybe_retire(p)
+                    continue
+                else:
+                    if heap:
+                        hk = heap[0][0]
+                        j = bisect_left(arr_key, hk, ai, n_arr)
+                    else:
+                        hk = -1
+                        j = n_arr
+                    a0 = ai
+                    if has_cache and not any(failed):
+                        jj = j if j - ai <= 1024 else ai + 1024
+                        for t, p in zip(arr_t[ai:jj], arr_slot[ai:jj]):
+                            ai += 1
+                            lc = p_lc[p]
+                            pf = port_free[lc]
+                            if pf > t:
+                                port_free[lc] = pf + 1
+                                port_busy[lc] += 1
+                                seq += 1
+                                p_ref[p] += 1
+                                heappush(
+                                    heap,
+                                    ((pf << _SEQ_BITS) | seq,
+                                     _K_PROBE, p, lc, pf, 0),
+                                )
+                                break
+                            port_free[lc] = t1 = t + 1
+                            port_busy[lc] += 1
+                            addr = p_dest[p]
+                            eid = fsets[p_set[p]].get(addr)
+                            if eid is not None:
+                                stamp[lc] = tick = stamp[lc] + 1
+                                e_last[eid] = tick
+                                if e_wait[eid]:
+                                    st_whits[lc] += 1
+                                    e_waiters[eid].append(p)
+                                    p_ref[p] += 1
+                                else:
+                                    st_hits[lc] += 1
+                                    p_served[p] = e_hop[eid]
+                                    p_ct[p] = t1
+                                    completed_n += 1
+                                    if p_meas[p]:
+                                        lat_cur.append(1)
+                                        if len(lat_cur) >= 65536:
+                                            lat_parts.append(
+                                                np.asarray(
+                                                    lat_cur, dtype=np.int64
+                                                )
+                                            )
+                                            del lat_cur[:]
+                                    free_slots.append(p)
+                                continue
+                            probe_tail(p, lc, addr, t)
+                            maybe_retire(p)
+                            break
+                    else:
+                        while ai < j:
+                            t = arr_t[ai]
+                            p = arr_slot[ai]
+                            ai += 1
+                            lc = p_lc[p]
+                            if failed[lc]:
+                                drop(p, "ingress", t)
+                                maybe_retire(p)
+                                continue
+                            if not has_cache:
+                                dispatch(p, lc, t, home_of(p, lc))
+                                maybe_retire(p)
+                                if heap:
+                                    nk = heap[0][0]
+                                    if nk != hk:
+                                        hk = nk
+                                        j = bisect_left(arr_key, hk, ai, j)
+                                continue
+                            pf = port_free[lc]
+                            if pf > t:
+                                port_free[lc] = pf + 1
+                                port_busy[lc] += 1
+                                seq += 1
+                                p_ref[p] += 1
+                                heappush(
+                                    heap,
+                                    ((pf << _SEQ_BITS) | seq,
+                                     _K_PROBE, p, lc, pf, 0),
+                                )
+                                nk = heap[0][0]
+                                if nk != hk:
+                                    hk = nk
+                                    j = bisect_left(arr_key, hk, ai, j)
+                                continue
+                            port_free[lc] = t1 = t + 1
+                            port_busy[lc] += 1
+                            addr = p_dest[p]
+                            eid = fsets[p_set[p]].get(addr)
+                            if eid is not None:
+                                stamp[lc] = tick = stamp[lc] + 1
+                                e_last[eid] = tick
+                                if e_wait[eid]:
+                                    st_whits[lc] += 1
+                                    e_waiters[eid].append(p)
+                                    p_ref[p] += 1
+                                else:
+                                    st_hits[lc] += 1
+                                    p_served[p] = e_hop[eid]
+                                    p_ct[p] = t1
+                                    completed_n += 1
+                                    if p_meas[p]:
+                                        lat_cur.append(1)
+                                        if len(lat_cur) >= 65536:
+                                            lat_parts.append(
+                                                np.asarray(
+                                                    lat_cur, dtype=np.int64
+                                                )
+                                            )
+                                            del lat_cur[:]
+                                    free_slots.append(p)
+                                continue
+                            probe_tail(p, lc, addr, t)
+                            maybe_retire(p)
+                            if heap:
+                                nk = heap[0][0]
+                                if nk != hk:
+                                    hk = nk
+                                    j = bisect_left(arr_key, hk, ai, j)
+                    now = t
+                    processed += ai - a0
+                    continue
+            elif heap:
+                ev = heappop(heap)
+            else:
+                break
+            key = ev[0]
+            kind = ev[1]
+            now = key >> _SEQ_BITS
+            processed += 1
+            if kind == _K_PROBE:
+                p = ev[2]
+                lc = ev[3]
+                start = ev[4]
+                if now != start:
+                    raise SimulationError(
+                        f"deferred probe at LC {lc} fired at cycle {now}, "
+                        f"but its port slot was reserved for cycle {start}"
+                    )
+                probe_at(p, lc, now)
+                pderef(p)
+            elif kind == _K_FEDONE:
+                p = ev[2]
+                he = ev[5]
+                fe_done(p, ev[3], ev[4], he, now)
+                if he >= 0:
+                    ederef(he)
+                pderef(p)
+            elif kind == _K_REPLY:
+                p = ev[2]
+                reply(p, ev[3], now)
+                pderef(p)
+            elif kind == _K_REMREQ:
+                p = ev[2]
+                remote_request(p, ev[3], now)
+                pderef(p)
+            elif kind == _K_RPROBE:
+                p = ev[2]
+                home = ev[3]
+                start = ev[4]
+                if now != start:
+                    raise SimulationError(
+                        f"deferred remote probe at LC {home} fired at cycle "
+                        f"{now}, but its port slot was reserved for "
+                        f"cycle {start}"
+                    )
+                remote_probe_at(p, home, now)
+                pderef(p)
+            elif kind == _K_TIMEOUT:
+                p = ev[2]
+                check_timeout(p, ev[3], ev[4], now)
+                pderef(p)
+            elif kind == _K_FLUSH:
+                flush_all(now)
+            elif kind == _K_FAULT:
+                apply_fault(ev[2], ev[3], now)
+            elif kind == _K_UPDATE:
+                apply_update(ev[2], now)
+            else:
+                inval_prefix(ev[2], now)
+        horizon = now
+
+        # -- writeback ----------------------------------------------------
+        if has_cache:
+            for i, cache in enumerate(sim.caches):
+                s = cache.stats
+                s.lookups = (
+                    st_hits[i] + st_whits[i] + st_vhits[i] + st_misses[i]
+                )
+                s.hits = st_hits[i]
+                s.waiting_hits = st_whits[i]
+                s.victim_hits = st_vhits[i]
+                s.misses = st_misses[i]
+                s.insertions = st_ins[i]
+                s.evictions = st_evict[i]
+                s.bypasses = st_bypass[i]
+                s.flushes = st_flush[i]
+                obs_ev = cache._obs_evictions
+                if obs_ev is not None:
+                    obs_ev[LOC].value += ev_cnt[i][LOC]
+                    obs_ev[REM].value += ev_cnt[i][REM]
+                cache.adopt_flat_state(
+                    [
+                        [
+                            (a, e_hop[e], e_mix[e], e_wait[e],
+                             e_last[e], e_ins[e])
+                            for a, e in st_set.items()
+                        ]
+                        for st_set in fsets[i * n_sets:(i + 1) * n_sets]
+                    ],
+                    stamp[i],
+                    victim_entries=(
+                        [
+                            (a, e_hop[e], e_mix[e], e_wait[e],
+                             e_last[e], e_ins[e])
+                            for a, e in vc[i].items()
+                        ]
+                        if has_victim
+                        else None
+                    ),
+                    victim_stamp=vc_stamp[i],
+                    victim_insertions=vc_ins[i],
+                    victim_hits=vc_hits[i],
+                )
+        for i in range(n_lcs):
+            sim.cache_ports[i].free_at = port_free[i]
+            sim.cache_ports[i].busy_cycles = port_busy[i]
+            sim.fes[i].free_at = fe_free[i]
+            sim.fes[i].busy_cycles = fe_busy[i]
+        fabric.messages += fab_msgs
+        sim.fe_lookups = fe_lookups
+        sim.max_fe_backlog = max_backlog
+        sim._failed = failed
+        sim._fail_at = fail_at
+        sim._down_cycles = down_cycles
+        sim.queue.adopt_flat_run(seq, horizon, processed)
+        sim.completed = _CountSeq(completed_n)
+        sim.dropped_packets = _CountSeq(dropped_n)
+
+        if lat_cur:
+            lat_parts.append(np.asarray(lat_cur, dtype=np.int64))
+        latencies = (
+            np.concatenate(lat_parts)
+            if lat_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        sim.phase_seconds["run"] = time.perf_counter() - t0
+        return {
+            "horizon": horizon,
+            "latencies": latencies,
+            "failover": failover_list if track_failover else None,
             "n_events": processed,
         }

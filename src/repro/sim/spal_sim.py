@@ -945,51 +945,79 @@ class SpalSimulator:
         handlers take over) when batching is disabled or the address width
         exceeds the kernels.
         """
-        if not batch_enabled() or self.table.width > MAX_KERNEL_WIDTH:
+        if not self._precompute_enabled():
             return None
+        snapshots = self._counter_snapshots()
+        out: List[tuple] = [
+            self._homes_hops_for(lc, np.asarray(stream, dtype=np.uint64))
+            for lc, stream in enumerate(streams)
+        ]
+        self._restore_counters(snapshots)
+        return out
+
+    def _precompute_enabled(self) -> bool:
+        """True when batched (home, hop) precomputation applies — the
+        streaming engine uses this gate per chunk instead of calling
+        :meth:`_precompute_streams` (which would consume the streams)."""
+        return batch_enabled() and self.table.width <= MAX_KERNEL_WIDTH
+
+    def _counter_snapshots(self) -> List[tuple]:
         snapshots = []
         for m in {id(m): m for m in [*self._matchers, self._oracle]}.values():
             c = getattr(m, "counter", None)
             if c is not None:
                 snapshots.append((c, c.lookups, c.accesses, c.max_accesses))
-        out: List[tuple] = []
-        for lc, stream in enumerate(streams):
-            dests = np.asarray(stream, dtype=np.uint64)
-            if self.plan is not None:
-                homes = self.plan.home_lc_batch(dests)
-            else:
-                homes = np.full(len(dests), lc, dtype=np.int64)
-            if self._updates_armed:
-                out.append((homes.tolist(), None))
-                continue
-            hops = np.empty(len(dests), dtype=np.int64)
-            for h in np.unique(homes):
-                mask = homes == h
-                matcher = self._matchers[int(h)]
-                if hasattr(matcher, "lookup_batch"):
-                    hops[mask] = matcher.lookup_batch(dests[mask])
-                else:  # duck-typed test stand-ins expose only lookup()
-                    hops[mask] = [
-                        matcher.lookup(int(a)) for a in dests[mask]
-                    ]
-            if self._oracle is not None:
-                expected = self._oracle.lookup_batch(dests)
-                bad = np.flatnonzero(hops != expected)
-                if bad.size:
-                    i = int(bad[0])
-                    raise SimulationError(
-                        f"partition invariant violated at LC "
-                        f"{int(homes[i])}: lookup({int(dests[i]):#x}) = "
-                        f"{int(hops[i])}, whole table says "
-                        f"{int(expected[i])}"
-                    )
-            # Plain lists: the scheduling loop indexes per packet, and
-            # list[i] yields a Python int with no per-element conversion.
-            out.append((homes.tolist(), hops.tolist()))
+        return snapshots
+
+    @staticmethod
+    def _restore_counters(snapshots: List[tuple]) -> None:
         for c, lookups, accesses, max_accesses in snapshots:
             c.lookups = lookups
             c.accesses = accesses
             c.max_accesses = max_accesses
+
+    def _homes_hops_for(self, lc: int, dests: np.ndarray) -> tuple:
+        """(homes, hops) lists for one LC's destinations — the per-stream
+        body shared by whole-trace and per-chunk precomputation.  Pure per
+        element, so any chunking of a stream yields identical values."""
+        if self.plan is not None:
+            homes = self.plan.home_lc_batch(dests)
+        else:
+            homes = np.full(len(dests), lc, dtype=np.int64)
+        if self._updates_armed:
+            return (homes.tolist(), None)
+        hops = np.empty(len(dests), dtype=np.int64)
+        for h in np.unique(homes):
+            mask = homes == h
+            matcher = self._matchers[int(h)]
+            if hasattr(matcher, "lookup_batch"):
+                hops[mask] = matcher.lookup_batch(dests[mask])
+            else:  # duck-typed test stand-ins expose only lookup()
+                hops[mask] = [
+                    matcher.lookup(int(a)) for a in dests[mask]
+                ]
+        if self._oracle is not None:
+            expected = self._oracle.lookup_batch(dests)
+            bad = np.flatnonzero(hops != expected)
+            if bad.size:
+                i = int(bad[0])
+                raise SimulationError(
+                    f"partition invariant violated at LC "
+                    f"{int(homes[i])}: lookup({int(dests[i]):#x}) = "
+                    f"{int(hops[i])}, whole table says "
+                    f"{int(expected[i])}"
+                )
+        # Plain lists: the scheduling loop indexes per packet, and
+        # list[i] yields a Python int with no per-element conversion.
+        return (homes.tolist(), hops.tolist())
+
+    def _precompute_chunk(self, lc: int, dests: np.ndarray) -> tuple:
+        """Per-chunk (homes, hops) for the streaming engine; matcher
+        counters are restored so chunked precomputation stays side-effect
+        free, exactly like the whole-trace pass."""
+        snapshots = self._counter_snapshots()
+        out = self._homes_hops_for(lc, dests)
+        self._restore_counters(snapshots)
         return out
 
     def _resolve_engine(self, engine: str) -> bool:
@@ -1143,18 +1171,42 @@ class SpalSimulator:
             for ev in updates.events():
                 self.queue.schedule(ev.cycle, self._apply_churn_update, ev.update)
         self._plan_epoch = self.plan.epoch if self.plan is not None else 0
+        from .streaming import PacketStream
+
+        use_array = self._resolve_engine(engine)
+        stream_mode = any(isinstance(s, PacketStream) for s in streams)
+        if stream_mode and not use_array:
+            # The scalar loop is the readable reference implementation,
+            # not the scale path (it allocates a _Packet per arrival
+            # regardless): materialize streams up front so chunked input
+            # still runs — and runs bit-identically.
+            streams = [
+                s.materialize() if isinstance(s, PacketStream) else s
+                for s in streams
+            ]
+            stream_mode = False
         t0 = time.perf_counter()
-        precomputed = self._precompute_streams(streams)
+        # Streamed runs precompute (home, hop) chunk by chunk inside the
+        # engine; resolving the whole trace here would defeat O(chunk).
+        precomputed = (
+            None if stream_mode else self._precompute_streams(streams)
+        )
         self.phase_seconds["precompute"] = time.perf_counter() - t0
         total = sum(len(s) for s in streams)
         failover_lat: Optional[List[int]] = None
-        if self._resolve_engine(engine):
+        if use_array:
             from .array_engine import ArrayEngine
 
-            out = ArrayEngine(self).run(
-                streams, speeds, precomputed, flush_cycles, update_events,
-                warmup_packets,
-            )
+            if stream_mode:
+                out = ArrayEngine(self).run_streamed(
+                    streams, speeds, flush_cycles, update_events,
+                    warmup_packets,
+                )
+            else:
+                out = ArrayEngine(self).run(
+                    streams, speeds, precomputed, flush_cycles,
+                    update_events, warmup_packets,
+                )
             horizon = out["horizon"]
             latencies = out["latencies"]
             failover_lat = out["failover"]

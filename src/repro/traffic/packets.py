@@ -70,6 +70,42 @@ def arrival_times(
     return start_cycle + np.cumsum(gaps)
 
 
+class ArrivalClock:
+    """Resumable :func:`arrival_times` — the same process drawn in chunks.
+
+    ``next(n)`` returns the next ``n`` arrival cycles; concatenating the
+    chunks of any split reproduces ``arrival_times(total, ...)``
+    bit-for-bit, because NumPy's bounded-integer generation consumes the
+    bit stream per value (chunk boundaries don't shift it) and the cumsum
+    carry continues from the last emitted cycle.  The streaming simulation
+    leans on this: per-LC arrival processes advance window by window
+    without ever materializing the whole trace.
+    """
+
+    __slots__ = ("_rng", "_low", "_high", "_last", "emitted")
+
+    def __init__(self, speed_gbps: int = 40, seed: int = 0,
+                 start_cycle: int = 0):
+        self._low, self._high = LinkSpec(speed_gbps).window
+        self._rng = np.random.default_rng(seed)
+        self._last = start_cycle
+        #: Arrivals emitted so far.
+        self.emitted = 0
+
+    def next(self, n: int) -> np.ndarray:
+        """The next ``n`` arrival cycles (int64, strictly increasing)."""
+        if n < 0:
+            raise SimulationError("n must be non-negative")
+        gaps = self._rng.integers(
+            self._low, self._high + 1, size=n, dtype=np.int64
+        )
+        times = self._last + np.cumsum(gaps)
+        if n:
+            self._last = int(times[-1])
+        self.emitted += n
+        return times
+
+
 def packet_sizes(n_packets: int, seed: int = 0) -> np.ndarray:
     """Packet lengths with the paper's mean (256 B) and floor (40 B):
     shifted exponential, clipped at a 1500 B MTU."""

@@ -213,6 +213,15 @@ class LongestPrefixMatcher(ABC):
     def storage_kbytes(self) -> float:
         return self.storage_bytes() / 1024.0
 
+    def pool_bytes(self) -> int:
+        """Measured bytes of the structure's backing arrays.
+
+        Packed matchers override this with the live
+        :meth:`repro.tries.pool.NodePool.nbytes` of their pools; the
+        default falls back to the idealized :meth:`storage_bytes` model.
+        """
+        return self.storage_bytes()
+
     def measure(
         self, addresses: Iterable[int], profiler=None
     ) -> Tuple[float, int]:
@@ -260,3 +269,26 @@ def check_matcher(
 def sorted_routes(table: RoutingTable) -> list[tuple[Prefix, NextHop]]:
     """Routes sorted by (value, length): canonical build order for tries."""
     return sorted(table.routes(), key=lambda r: (r[0].value, r[0].length))
+
+
+def sorted_route_arrays(
+    table: RoutingTable,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(values, lengths, hops)`` columns sorted by (value, length).
+
+    The array-native counterpart of :func:`sorted_routes` for widths that
+    fit uint64: no :class:`Prefix` objects are created, so full-BGP-scale
+    tables sort in a single ``lexsort``.  Columnar tables
+    (:class:`repro.routing.arraytable.ArrayRoutingTable`) hand over their
+    columns directly; dict-backed tables are columnized first.
+    """
+    if table.width > 64:
+        raise ValueError("sorted_route_arrays requires width <= 64")
+    from ..routing.arraytable import table_columns
+
+    values, lengths, hops = table_columns(table)
+    values = np.asarray(values, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    hops = np.asarray(hops, dtype=np.int64)
+    order = np.lexsort((lengths, values))
+    return values[order], lengths[order], hops[order]

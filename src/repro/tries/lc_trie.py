@@ -10,9 +10,7 @@ Construction follows the published algorithm:
 2. The trie over the base vector uses *skip* (path compression: common bits
    of an interval) and *branch* (level compression: replace the top ``b``
    levels by a 2^b-way node when at least ``fill_factor`` of the children
-   would be non-empty).  Empty children point at a neighbouring base entry;
-   the terminal string comparison plus the prefix-chain walk recover
-   correctness, exactly as in the published code.
+   would be non-empty).
 
 Lookup walks branch nodes extracting address bits, then compares the reached
 base string and, on mismatch beyond the entry's length, walks its prefix
@@ -30,6 +28,19 @@ base read + chain walk) and is provably correct: any route matching an
 address routed into the empty slot must be a prefix of that path string (a
 longer match would have made the slot non-empty).
 
+The whole structure lives in flat :class:`~repro.tries.pool.NodePool`
+columns — trie nodes (branch/skip/adr), a contiguous child-index array (an
+internal node's ``adr`` is its first child's slot, as in the published
+layout), and base/prefix entries (value/length/hop/chain) — with no
+per-node Python objects.  The leaf/internal split and ancestor chains run
+in one vectorized pass plus a linear ancestor-stack sweep over the sorted
+route columns, and branch selection / interval partitioning use vector
+compares, so full-BGP tables (10^6 prefixes) build without materializing a
+million :class:`Prefix` objects.  Addresses wider than 64 bits keep the
+same pooled layout with an ``object``-dtype value column (Python ints) and
+scalar build loops — correct but unvectorized, which is fine for the small
+IPv6 tables exercised at that width.
+
 Storage model (paper Sec. 4, fill factor 0.25): 4 bytes per trie node
 (branch/skip/pointer packed in a word) plus 8 bytes per base-vector entry and
 8 per prefix-table entry.
@@ -37,7 +48,7 @@ Storage model (paper Sec. 4, fill factor 0.25): 4 bytes per trie node
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +56,7 @@ from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
 from .base import BatchKernel, LongestPrefixMatcher, UpdateResult
+from .pool import NodePool
 
 TRIE_NODE_BYTES = 4
 BASE_ENTRY_BYTES = 8
@@ -53,16 +65,41 @@ PREFIX_ENTRY_BYTES = 8
 _NO_PREFIX = -1
 
 
-class _Entry:
-    """A base-vector or prefix-table entry."""
+def _node_pool() -> NodePool:
+    return NodePool(
+        {
+            "branch": (np.int16, 0),
+            "skip": (np.int16, 0),
+            "adr": (np.int32, 0),
+        }
+    )
 
-    __slots__ = ("value", "length", "next_hop", "chain")
 
-    def __init__(self, value: int, length: int, next_hop: NextHop) -> None:
-        self.value = value          # left-aligned, host bits zero
-        self.length = length
-        self.next_hop = next_hop
-        self.chain = _NO_PREFIX     # index into the prefix table
+def _entry_pool(width: int) -> NodePool:
+    # Values wider than 64 bits are held as Python ints in an object column.
+    vdtype = np.uint64 if width <= 64 else object
+    return NodePool(
+        {
+            "value": (vdtype, 0),
+            "length": (np.int16, 0),
+            "hop": (np.int32, NO_ROUTE),
+            "chain": (np.int32, _NO_PREFIX),
+        }
+    )
+
+
+def _wide_columns(
+    routes: list, width: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(values, lengths, hops) sorted by (value, length) for width > 64:
+    object-dtype values (Python ints) instead of uint64."""
+    routes = sorted(routes, key=lambda r: (r[0].value, r[0].length))
+    values = np.empty(len(routes), dtype=object)
+    for i, (p, _) in enumerate(routes):
+        values[i] = p.value
+    lengths = np.asarray([p.length for p, _ in routes], dtype=np.int64)
+    hops = np.asarray([h for _, h in routes], dtype=np.int64)
+    return values, lengths, hops
 
 
 class LCTrie(LongestPrefixMatcher):
@@ -82,85 +119,148 @@ class LCTrie(LongestPrefixMatcher):
         self.width = table.width
         self.fill_factor = fill_factor
         self.root_branch = root_branch
-        # Flat node array: (branch, skip, adr).  branch==0 → leaf, adr is a
-        # base-vector index; otherwise adr is the index of the first of
-        # 2^branch children.
-        self.nodes: List[Tuple[int, int, int]] = []
-        self.base: List[_Entry] = []
-        self.prefix_table: List[_Entry] = []
-        self._child_lists: List[List[int]] = []
+        # Node columns: branch==0 → leaf, adr is a base-vector index;
+        # otherwise adr is the child-array slot of the first of 2^branch
+        # contiguous children.
+        self.nodes = _node_pool()
+        self.children = NodePool({"node": (np.int32, 0)})
+        self.base = _entry_pool(self.width)
+        self.prefix_table = _entry_pool(self.width)
         self._default_hop: NextHop = NO_ROUTE
         # Master route state, kept in sync by apply_update so structural
-        # rebuilds need no external table.
-        self._routes: Dict[Prefix, NextHop] = dict(table.routes())
+        # rebuilds need no external table.  Held columnar until the first
+        # update inflates it into a dict.
+        from .base import sorted_route_arrays
+
+        self._cols: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = (
+            sorted_route_arrays(table)
+            if self.width <= 64
+            else _wide_columns(list(table.routes()), self.width)
+        )
+        self._routes_map: Optional[Dict[Prefix, NextHop]] = None
         self.update_patches = 0
         self.update_rebuilds = 0
-        self._build(list(self._routes.items()))
+        self._build(*self._cols)
 
-    # -- construction --------------------------------------------------------
+    # -- master route state ------------------------------------------------------
 
-    def _build(self, route_list: List[Tuple[Prefix, NextHop]]) -> None:
-        routes = sorted(route_list, key=lambda r: (r[0].value, r[0].length))
-        # Split into leaves (prefix-free) and internal prefixes.  Sorted
-        # order puts a covering prefix immediately before the covered ones,
-        # so a stack of open ancestors suffices.
-        leaves: List[_Entry] = []
-        stack: List[Tuple[Prefix, int]] = []  # (prefix, prefix_table index)
-        pending: List[Tuple[Prefix, NextHop]] = []
+    @property
+    def _routes(self) -> Dict[Prefix, NextHop]:
+        """Route dict backing the update path, inflated from the columns on
+        first use; full-scale builds that never update stay columnar."""
+        if self._routes_map is None:
+            values, lengths, hops = self._cols  # type: ignore[misc]
+            width = self.width
+            self._routes_map = {
+                Prefix(v, l, width): h
+                for v, l, h in zip(
+                    values.tolist(), lengths.tolist(), hops.tolist()
+                )
+            }
+            self._cols = None
+        return self._routes_map
 
-        def flush_pending(next_prefix: Optional[Prefix]) -> None:
-            """Emit pending routes whose leaf/internal status is now known."""
-            while pending:
-                prefix, hop = pending[-1]
-                if next_prefix is not None and prefix.contains(next_prefix):
-                    # `prefix` covers what follows → it is internal.
-                    pending.pop()
-                    entry = _Entry(prefix.value, prefix.length, hop)
-                    entry.chain = self._chain_for(stack, prefix)
-                    self.prefix_table.append(entry)
-                    stack.append((prefix, len(self.prefix_table) - 1))
-                else:
-                    pending.pop()
-                    entry = _Entry(prefix.value, prefix.length, hop)
-                    entry.chain = self._chain_for(stack, prefix)
-                    leaves.append(entry)
+    def _route_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(values, lengths, hops) sorted by (value, length)."""
+        if self._cols is not None:
+            return self._cols
+        routes = self._routes_map or {}
+        if self.width > 64:
+            return _wide_columns(list(routes.items()), self.width)
+        n = len(routes)
+        values = np.fromiter((p.value for p in routes), dtype=np.uint64, count=n)
+        lengths = np.fromiter((p.length for p in routes), dtype=np.int64, count=n)
+        hops = np.fromiter(routes.values(), dtype=np.int64, count=n)
+        order = np.lexsort((lengths, values))
+        return values[order], lengths[order], hops[order]
 
-        for prefix, hop in routes:
-            if prefix.length == 0:
-                # The default route matches everything; keep it out of the
-                # trie and use it as the global fallback.
-                self._default_hop = hop
-                continue
-            # The pending route's ancestor stack is still valid here; emit it
-            # before adjusting the stack for the new prefix.
-            flush_pending(prefix)
-            while stack and not stack[-1][0].contains(prefix):
-                stack.pop()
-            pending.append((prefix, hop))
-        flush_pending(None)
+    # -- construction ------------------------------------------------------------
 
-        if not leaves:
-            self.nodes.append((0, 0, 0))
-            self.base.append(_Entry(0, self.width + 1, NO_ROUTE))
+    def _build(
+        self, values: np.ndarray, lengths: np.ndarray, hops: np.ndarray
+    ) -> None:
+        width = self.width
+        # The default route matches everything; keep it out of the trie and
+        # use it as the global fallback.
+        at_root = lengths == 0
+        if at_root.any():
+            self._default_hop = int(hops[at_root][0])
+            keep = ~at_root
+            values, lengths, hops = values[keep], lengths[keep], hops[keep]
+        n = len(values)
+        if n == 0:
+            node = self.nodes.alloc()
+            entry = self.base.alloc()
+            self.nodes.adr[node] = entry
+            self.base.length[entry] = width + 1
             return
-        self.base = leaves
+        # A route is internal (→ prefix table) iff it contains its immediate
+        # successor in (value, length) order: any contained route sorts
+        # directly after it, so containing *some* later route implies
+        # containing the successor.
+        vals_l = values.tolist()
+        lens_l = lengths.tolist()
+        internal = np.zeros(n, dtype=bool)
+        if n > 1 and width <= 64:
+            shift = (width - lengths[:-1]).astype(np.uint64)
+            internal[:-1] = (lengths[1:] > lengths[:-1]) & (
+                (values[1:] >> shift) == (values[:-1] >> shift)
+            )
+        elif n > 1:
+            for i in range(n - 1):
+                s = width - lens_l[i]
+                internal[i] = lens_l[i + 1] > lens_l[i] and (
+                    vals_l[i + 1] >> s == vals_l[i] >> s
+                )
+        n_internal = int(np.count_nonzero(internal))
+        n_leaf = n - n_internal
+        pt, bt = self.prefix_table, self.base
+        pt.alloc_block(n_internal)
+        bt.alloc_block(n_leaf)
+        pt.value[:n_internal] = values[internal]
+        pt.length[:n_internal] = lengths[internal]
+        pt.hop[:n_internal] = hops[internal]
+        bt.value[:n_leaf] = values[~internal]
+        bt.length[:n_leaf] = lengths[~internal]
+        bt.hop[:n_leaf] = hops[~internal]
+        # Chain every route to its nearest proper ancestor with one
+        # ancestor-stack sweep (sorted order puts a covering prefix
+        # immediately before the covered ones).
+        internal_l = internal.tolist()
+        pt_chain: list[int] = []
+        bt_chain: list[int] = []
+        stack: list[tuple[int, int, int]] = []  # (value, length, pt index)
+        for i in range(n):
+            v = vals_l[i]
+            while stack and (v >> (width - stack[-1][1])) != stack[-1][0]:
+                stack.pop()
+            chain = stack[-1][2] if stack else _NO_PREFIX
+            if internal_l[i]:
+                pt_chain.append(chain)
+                stack.append((v >> (width - lens_l[i]), lens_l[i], len(pt_chain) - 1))
+            else:
+                bt_chain.append(chain)
+        pt.chain[:n_internal] = pt_chain
+        bt.chain[:n_leaf] = bt_chain
+        # Leaf columns drive the interval recursion.
+        self._leaf_vals = bt.value[:n_leaf].copy()
+        self._leaf_list = self._leaf_vals.tolist()
         # Auxiliary trie over every route, used only at build time to compute
         # covering entries for empty child slots.
         from .binary_trie import BinaryTrie
 
-        self._aux = BinaryTrie(width=self.width)
-        for prefix, hop in routes:
-            self._aux.insert(prefix, hop)
+        self._aux = BinaryTrie(width=width)
+        if width <= 64:
+            self._aux._bulk_from_arrays(values, lengths, hops)
+        else:
+            for v, l, h in zip(vals_l, lens_l, hops.tolist()):
+                self._aux.insert(Prefix(v, l, width), h)
         self._covering_cache: dict[tuple, int] = {}
-        self._build_node(0, len(leaves), 0, first_call=True)
+        self._build_node(0, n_leaf, 0, first_call=True)
         del self._aux
         del self._covering_cache
-
-    def _chain_for(self, stack: List[Tuple[Prefix, int]], prefix: Prefix) -> int:
-        for ancestor, index in reversed(stack):
-            if ancestor.contains(prefix) and ancestor.length < prefix.length:
-                return index
-        return _NO_PREFIX
+        del self._leaf_vals
+        del self._leaf_list
 
     def _extract(self, value: int, pos: int, bits: int) -> int:
         """``bits`` bits of ``value`` starting at bit position ``pos``."""
@@ -170,34 +270,37 @@ class LCTrie(LongestPrefixMatcher):
 
     def _compute_skip(self, first: int, n: int, pos: int) -> int:
         """Length of the bits shared by base[first..first+n) beyond ``pos``."""
-        low = self.base[first]
-        high = self.base[first + n - 1]
-        limit = min(low.length, high.length, self.width)
-        skip = 0
-        while pos + skip < limit and self._extract(
-            low.value, pos + skip, 1
-        ) == self._extract(high.value, pos + skip, 1):
-            skip += 1
-        return skip
+        low = self._leaf_list[first]
+        high = self._leaf_list[first + n - 1]
+        limit = min(
+            int(self.base.length[first]),
+            int(self.base.length[first + n - 1]),
+            self.width,
+        )
+        diff = low ^ high
+        if diff == 0:
+            return max(limit - pos, 0)
+        return max(min(limit, self.width - diff.bit_length()) - pos, 0)
 
     def _compute_branch(self, first: int, n: int, pos: int) -> int:
         """Largest branch ``b`` with at least ``fill_factor`` × 2^b non-empty
         children (always ≥ 1 for n ≥ 2; pattern distinctness is guaranteed by
-        prefix-freeness of the base vector)."""
+        prefix-freeness of the base vector).  The interval shares its first
+        ``pos`` bits and is sorted, so distinct patterns are runs of the
+        shifted values — one vector compare per candidate width."""
         if n == 2:
             return 1
+        width = self.width
+        vals = self._leaf_vals[first : first + n]
+        narrow = vals.dtype == np.uint64
         branch = 1
-        while pos + branch < self.width:
+        while pos + branch < width:
             candidate = branch + 1
-            if pos + candidate > self.width:
+            if pos + candidate > width:
                 break
-            patterns = 0
-            prev_pattern = -1
-            for i in range(first, first + n):
-                pattern = self._extract(self.base[i].value, pos, candidate)
-                if pattern != prev_pattern:
-                    patterns += 1
-                    prev_pattern = pattern
+            s = width - pos - candidate
+            pat = vals >> (np.uint64(s) if narrow else s)
+            patterns = 1 + int(np.count_nonzero(pat[1:] != pat[:-1]))
             if patterns < self.fill_factor * (1 << candidate):
                 break
             if (1 << candidate) > 2 * n:
@@ -205,57 +308,56 @@ class LCTrie(LongestPrefixMatcher):
             branch = candidate
         return branch
 
-    def _build_node(self, first: int, n: int, pos: int, first_call: bool = False) -> int:
+    def _build_node(
+        self, first: int, n: int, pos: int, first_call: bool = False
+    ) -> int:
         """Recursively emit nodes for base[first..first+n); returns the node
         index."""
-        index = len(self.nodes)
         if n == 1:
-            self.nodes.append((0, 0, first))
+            index = self.nodes.alloc()
+            self.nodes.adr[index] = first
             return index
         skip = self._compute_skip(first, n, pos)
         if first_call and self.root_branch is not None:
             branch = max(1, min(self.root_branch, self.width - pos - skip))
         else:
             branch = self._compute_branch(first, n, pos + skip)
-        self.nodes.append((branch, skip, 0))  # adr patched below
-        children_adr = None
-        # Partition the interval by the branch-bit pattern.
-        boundaries: List[Tuple[int, int]] = []  # (start, count) per pattern
-        p = first
+        index = self.nodes.alloc()
+        adr = self.children.alloc_block(1 << branch)
+        self.nodes.branch[index] = branch
+        self.nodes.skip[index] = skip
+        self.nodes.adr[index] = adr
+        # Partition the interval by the branch-bit pattern (sorted, so each
+        # pattern is one contiguous run).
+        vals = self._leaf_vals[first : first + n]
+        s = self.width - pos - skip - branch
+        mask = (1 << branch) - 1
+        if vals.dtype == np.uint64:
+            pat = ((vals >> np.uint64(s)) & np.uint64(mask)).astype(np.int64)
+        else:
+            pat = np.asarray(
+                [(v >> s) & mask for v in vals.tolist()], dtype=np.int64
+            )
+        starts = np.searchsorted(pat, np.arange((1 << branch) + 1))
         for pattern in range(1 << branch):
-            k = 0
-            while (
-                p + k < first + n
-                and self._extract(self.base[p + k].value, pos + skip, branch)
-                == pattern
-            ):
-                k += 1
-            boundaries.append((p, k))
-            p += k
-        if p != first + n:
-            raise TrieError("base vector not sorted by branch pattern")
-        child_indexes: List[int] = []
-        for pattern, (start, k) in enumerate(boundaries):
-            if k == 0:
+            start = int(starts[pattern])
+            count = int(starts[pattern + 1]) - start
+            if count == 0:
                 # Empty child: leaf pointing at the covering entry for this
                 # path+pattern string (see the module docstring).
                 entry = self._covering_entry(first, pos + skip, branch, pattern)
-                child_indexes.append(len(self.nodes))
-                self.nodes.append((0, 0, entry))
+                child = self.nodes.alloc()
+                self.nodes.adr[child] = entry
             else:
-                child_indexes.append(
-                    self._build_node(start, k, pos + skip + branch)
+                child = self._build_node(
+                    first + start, count, pos + skip + branch
                 )
-        # The published layout stores the 2^branch children contiguously and
-        # encodes only the first child's index; depth-first emission here
-        # makes them non-contiguous, so `adr` indexes a child list instead.
-        # Storage accounting below still follows the contiguous model.
-        adr = len(self._child_lists)
-        self._child_lists.append(child_indexes)
-        self.nodes[index] = (branch, skip, adr)
+            self.children.node[adr + pattern] = child
         return index
 
-    def _covering_entry(self, first: int, region_start: int, branch: int, pattern: int) -> int:
+    def _covering_entry(
+        self, first: int, region_start: int, branch: int, pattern: int
+    ) -> int:
         """Base-vector index of the covering entry for an empty child slot.
 
         The slot corresponds to the bit string ``path(region_start bits) +
@@ -263,7 +365,7 @@ class LCTrie(LongestPrefixMatcher):
         that is a prefix of that string, chained to its proper prefixes.
         """
         region_end = region_start + branch
-        path_bits = self.base[first].value
+        path_bits = self._leaf_list[first]
         keep = (
             ((1 << region_start) - 1) << (self.width - region_start)
             if region_start
@@ -277,25 +379,30 @@ class LCTrie(LongestPrefixMatcher):
         cached = self._covering_cache.get(key)
         if cached is not None:
             return cached
+        base = self.base
         if not candidates:
             # Dead entry: never matches, falls through to the default hop.
-            index = len(self.base)
-            self.base.append(_Entry(0, self.width + 1, NO_ROUTE))
+            index = base.alloc()
+            base.length[index] = self.width + 1
             self._covering_cache[key] = index
             return index
         length, hop = candidates[-1]
-        mask = ((1 << length) - 1) << (self.width - length)
-        entry = _Entry(probe & mask, length, hop)
+        pt = self.prefix_table
         chain = _NO_PREFIX
         for clen, chop in candidates[:-1]:  # increasing length
             cmask = ((1 << clen) - 1) << (self.width - clen)
-            chain_entry = _Entry(probe & cmask, clen, chop)
-            chain_entry.chain = chain
-            self.prefix_table.append(chain_entry)
-            chain = len(self.prefix_table) - 1
-        entry.chain = chain
-        index = len(self.base)
-        self.base.append(entry)
+            ci = pt.alloc()
+            pt.value[ci] = probe & cmask
+            pt.length[ci] = clen
+            pt.hop[ci] = chop
+            pt.chain[ci] = chain
+            chain = ci
+        mask = ((1 << length) - 1) << (self.width - length)
+        index = base.alloc()
+        base.value[index] = probe & mask
+        base.length[index] = length
+        base.hop[index] = hop
+        base.chain[index] = chain
         self._covering_cache[key] = index
         return index
 
@@ -313,25 +420,23 @@ class LCTrie(LongestPrefixMatcher):
             self._default_hop = next_hop
             return 1
         work = 0
-        for entry in self.base:
-            if entry.length == prefix.length and entry.value == prefix.value:
-                entry.next_hop = next_hop
-                work += 1
-        for entry in self.prefix_table:
-            if entry.length == prefix.length and entry.value == prefix.value:
-                entry.next_hop = next_hop
-                work += 1
+        for pool in (self.base, self.prefix_table):
+            hit = (pool.length[: pool.size] == prefix.length) & np.asarray(
+                pool.value[: pool.size] == prefix.value, dtype=bool
+            )
+            pool.hop[: pool.size][hit] = next_hop
+            work += int(np.count_nonzero(hit))
         return max(work, 1)
 
     def _rebuild(self) -> UpdateResult:
-        self.nodes = []
-        self.base = []
-        self.prefix_table = []
-        self._child_lists = []
+        self.nodes = _node_pool()
+        self.children = NodePool({"node": (np.int32, 0)})
+        self.base = _entry_pool(self.width)
+        self.prefix_table = _entry_pool(self.width)
         self._default_hop = NO_ROUTE
-        self._build(list(self._routes.items()))
+        self._build(*self._route_columns())
         self.update_rebuilds += 1
-        work = len(self.nodes) + len(self.base) + len(self.prefix_table)
+        work = self.nodes.size + self.base.size + self.prefix_table.size
         return UpdateResult("rebuild", work)
 
     def apply_update(
@@ -372,68 +477,74 @@ class LCTrie(LongestPrefixMatcher):
     def lookup(self, address: int) -> NextHop:
         counter = self.counter
         counter.start()
-        node = self.nodes[0]
+        nodes = self.nodes
+        child = self.children.node
+        node = 0
         counter.touch()
         pos = 0
-        while node[0] != 0:
-            branch, skip, adr = node
-            pos += skip
-            child = self._child_lists[adr][self._extract(address, pos, branch)]
+        branch = int(nodes.branch[0])
+        while branch != 0:
+            pos += int(nodes.skip[node])
+            pattern = self._extract(address, pos, branch)
+            node = int(child[int(nodes.adr[node]) + pattern])
             pos += branch
-            node = self.nodes[child]
             counter.touch()
-        entry = self.base[node[2]]
+            branch = int(nodes.branch[node])
+        entry = int(nodes.adr[node])
         counter.touch()  # base-vector read
         hop = self._match_entry(entry, address, counter)
         counter.finish()
         return hop
 
-    def _match_entry(self, entry: _Entry, address: int, counter) -> NextHop:
-        diff = entry.value ^ address
-        if entry.length <= self.width and (
-            entry.length == 0 or (diff >> (self.width - entry.length)) == 0
+    def _match_entry(self, entry: int, address: int, counter) -> NextHop:
+        base = self.base
+        width = self.width
+        length = int(base.length[entry])
+        diff = int(base.value[entry]) ^ address
+        if length <= width and (
+            length == 0 or (diff >> (width - length)) == 0
         ):
-            return entry.next_hop
-        chain = entry.chain
+            return int(base.hop[entry])
+        chain = int(base.chain[entry])
+        pt = self.prefix_table
         while chain != _NO_PREFIX:
-            prefix_entry = self.prefix_table[chain]
             counter.touch()  # prefix-table read
-            if (diff >> (self.width - prefix_entry.length)) == 0:
-                return prefix_entry.next_hop
-            chain = prefix_entry.chain
+            plen = int(pt.length[chain])
+            if (diff >> (width - plen)) == 0:
+                return int(pt.hop[chain])
+            chain = int(pt.chain[chain])
         return self._default_hop
 
     def _compile_batch_kernel(self) -> BatchKernel:
-        """Pack nodes, child lists, base vector and prefix table into flat
-        arrays.  The batch walks branch nodes level-synchronously (every
-        in-flight address consumes its skip+branch bits per vector op),
-        then resolves base-entry comparisons and prefix-chain walks with
-        masked vector steps.  Access counting replicates :meth:`lookup`:
-        one read per node visited, one base-vector read, one per
-        prefix-table entry examined."""
-        branch_a = np.asarray([n[0] for n in self.nodes], dtype=np.int64)
-        skip_a = np.asarray([n[1] for n in self.nodes], dtype=np.int64)
-        adr_a = np.asarray([n[2] for n in self.nodes], dtype=np.int64)
-        sizes = np.asarray(
-            [len(c) for c in self._child_lists] or [0], dtype=np.int64
-        )
-        clist_base = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-        child_flat = np.asarray(
-            [c for cl in self._child_lists for c in cl] or [0], dtype=np.int64
-        )
-        b_value = np.asarray([e.value for e in self.base], dtype=np.uint64)
-        b_length = np.asarray([e.length for e in self.base], dtype=np.int64)
-        b_hop = np.asarray([e.next_hop for e in self.base], dtype=np.int64)
-        b_chain = np.asarray([e.chain for e in self.base], dtype=np.int64)
-        p_length = np.asarray(
-            [e.length for e in self.prefix_table] or [1], dtype=np.int64
-        )
-        p_hop = np.asarray(
-            [e.next_hop for e in self.prefix_table] or [NO_ROUTE], dtype=np.int64
-        )
-        p_chain = np.asarray(
-            [e.chain for e in self.prefix_table] or [_NO_PREFIX], dtype=np.int64
-        )
+        """Batch traversal reading the pools directly.  Walks branch nodes
+        level-synchronously (every in-flight address consumes its
+        skip+branch bits per vector op; an internal node's ``adr`` plus the
+        extracted pattern is its child's slot), then resolves base-entry
+        comparisons and prefix-chain walks with masked vector steps.
+        Access counting replicates :meth:`lookup`: one read per node
+        visited, one base-vector read, one per prefix-table entry
+        examined."""
+        nn = self.nodes.size
+        branch_a = self.nodes.branch[:nn].astype(np.int64)
+        skip_a = self.nodes.skip[:nn].astype(np.int64)
+        adr_a = self.nodes.adr[:nn].astype(np.int64)
+        child_flat = self.children.node[: self.children.size].astype(np.int64)
+        if child_flat.size == 0:
+            child_flat = np.zeros(1, dtype=np.int64)
+        nb = self.base.size
+        b_value = self.base.value[:nb].copy()
+        b_length = self.base.length[:nb].astype(np.int64)
+        b_hop = self.base.hop[:nb].astype(np.int64)
+        b_chain = self.base.chain[:nb].astype(np.int64)
+        npt = self.prefix_table.size
+        if npt:
+            p_length = self.prefix_table.length[:npt].astype(np.int64)
+            p_hop = self.prefix_table.hop[:npt].astype(np.int64)
+            p_chain = self.prefix_table.chain[:npt].astype(np.int64)
+        else:
+            p_length = np.ones(1, dtype=np.int64)
+            p_hop = np.full(1, NO_ROUTE, dtype=np.int64)
+            p_chain = np.full(1, _NO_PREFIX, dtype=np.int64)
         width = self.width
         default_hop = self._default_hop
 
@@ -461,7 +572,7 @@ class LCTrie(LongestPrefixMatcher):
                 pattern = (addrs[lanes] >> shift).astype(np.int64) & (
                     (np.int64(1) << branch) - 1
                 )
-                nodes_now = child_flat[clist_base[adr_a[nodes_now]] + pattern]
+                nodes_now = child_flat[adr_a[nodes_now] + pattern]
                 pos = pos + branch
                 accesses[lanes] += 1
             accesses += 1  # base-vector read
@@ -495,14 +606,22 @@ class LCTrie(LongestPrefixMatcher):
 
     def storage_bytes(self) -> int:
         # One 4-byte word per node (children contiguous in the published
-        # layout, so `self.nodes` already counts every slot) plus the base
+        # layout, so the node pool already counts every slot) plus the base
         # and prefix tables.
         return (
-            len(self.nodes) * TRIE_NODE_BYTES
-            + len(self.base) * BASE_ENTRY_BYTES
-            + len(self.prefix_table) * PREFIX_ENTRY_BYTES
+            self.nodes.size * TRIE_NODE_BYTES
+            + self.base.size * BASE_ENTRY_BYTES
+            + self.prefix_table.size * PREFIX_ENTRY_BYTES
+        )
+
+    def pool_bytes(self) -> int:
+        return (
+            self.nodes.nbytes()
+            + self.children.nbytes()
+            + self.base.nbytes()
+            + self.prefix_table.nbytes()
         )
 
     @property
     def node_count(self) -> int:
-        return len(self.nodes)
+        return self.nodes.size

@@ -7,13 +7,22 @@ falls inside a stride are expanded to the stride boundary.  Every node entry
 remembers the length of the route that painted it so inserts may arrive in
 any order (longest-prefix wins per entry).
 
+Nodes are contiguous blocks of entries in one flat
+:class:`~repro.tries.pool.NodePool` (columns: hop, painted length, child
+block base); a node handle is just its block's first entry index.  Bulk
+construction from a table (width ≤ 64) is vectorized level by level: paint
+each level's routes into entry ranges with ``repeat``-expanded index
+arithmetic, then spawn the next level's blocks, each inheriting its parent
+entry's (hop, length) — the cascade realizes exactly the
+longest-prefix-wins state the incremental path converges to.
+
 Storage model: each node entry is a 4-byte word (next-hop + child pointer,
 as in hardware implementations).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -21,19 +30,11 @@ from ..errors import TrieError
 from ..routing.prefix import Prefix
 from ..routing.table import NO_ROUTE, NextHop, RoutingTable
 from .base import BatchKernel, LongestPrefixMatcher
+from .pool import NodePool
 
 ENTRY_BYTES = 4
 
-
-class _MultibitNode:
-    __slots__ = ("hops", "lens", "children")
-
-    def __init__(self, size: int, hop: NextHop = NO_ROUTE, length: int = -1):
-        self.hops: List[NextHop] = [hop] * size
-        #: Length of the route that painted each entry (-1 = unpainted);
-        #: longest-prefix-wins is enforced per entry via this field.
-        self.lens: List[int] = [length] * size
-        self.children: List[Optional[_MultibitNode]] = [None] * size
+_NO_CHILD = -1
 
 
 class MultibitTrie(LongestPrefixMatcher):
@@ -61,11 +62,102 @@ class MultibitTrie(LongestPrefixMatcher):
         for s in strides:
             acc += s
             self._boundaries.append(acc)
-        self.root = _MultibitNode(1 << strides[0])
+        self.pool = NodePool(
+            {
+                "hop": (np.int32, NO_ROUTE),
+                "plen": (np.int16, -1),
+                "child": (np.int32, _NO_CHILD),
+            },
+            capacity=1 << strides[0],
+        )
+        self.pool.alloc_block(1 << strides[0])  # root block at entry 0
+        #: Block base -> entry count (strides may differ per level).
+        self._block_sizes = {0: 1 << strides[0]}
         self.node_count = 1
         self.entry_count = 1 << strides[0]
-        for prefix, hop in table.routes():
-            self.insert(prefix, hop)
+        if len(table) > 0:
+            if table.width <= 64:
+                self._bulk_build(table)
+            else:
+                for prefix, hop in table.routes():
+                    self.insert(prefix, hop)
+
+    # -- construction ------------------------------------------------------
+
+    def _bulk_build(self, table: RoutingTable) -> None:
+        """Vectorized whole-table build: per-level range painting plus
+        an inheritance cascade into each new level's blocks."""
+        from .base import sorted_route_arrays
+
+        values, lengths, hops = sorted_route_arrays(table)
+        width = self.width
+        pool = self.pool
+        strides = self.strides
+        boundaries = self._boundaries
+        # Level of each route: first stride boundary that covers its length.
+        level = np.zeros(len(values), dtype=np.int64)
+        for l, b in enumerate(boundaries[:-1]):
+            level[lengths > b] = l + 1
+        # Node keys and block bases per level (level 0 = the root).
+        node_keys = np.zeros(1, dtype=np.uint64)
+        node_bases = np.zeros(1, dtype=np.int64)
+        for l, stride in enumerate(strides):
+            b_prev = boundaries[l - 1] if l else 0
+            b_here = boundaries[l]
+            # Paint this level's routes, shortest first (longest wins).
+            sel = level == l
+            if sel.any():
+                lv, ll, lh = values[sel], lengths[sel], hops[sel]
+                if l:
+                    parents = node_bases[
+                        np.searchsorted(
+                            node_keys, lv >> np.uint64(width - b_prev)
+                        )
+                    ]
+                else:
+                    parents = np.zeros(len(lv), dtype=np.int64)
+                first = (lv >> np.uint64(width - b_here)).astype(np.int64) & (
+                    (1 << stride) - 1
+                )
+                starts = parents + first
+                for length in np.unique(ll):
+                    grp = ll == length
+                    counts = 1 << (b_here - int(length))
+                    n_grp = int(np.count_nonzero(grp))
+                    idx = np.repeat(starts[grp], counts) + np.tile(
+                        np.arange(counts, dtype=np.int64), n_grp
+                    )
+                    pool.hop[idx] = np.repeat(lh[grp], counts)
+                    pool.plen[idx] = length
+            # Spawn the next level's blocks under entries that cover routes
+            # deeper than this boundary, inheriting the entry's state.
+            if l + 1 >= len(strides):
+                break
+            deeper = lengths > b_here
+            if not deeper.any():
+                node_keys = np.empty(0, dtype=np.uint64)
+                node_bases = np.empty(0, dtype=np.int64)
+                continue
+            keys = np.unique(values[deeper] >> np.uint64(width - b_here))
+            if l:
+                parents = node_bases[
+                    np.searchsorted(node_keys, keys >> np.uint64(stride))
+                ]
+            else:
+                parents = np.zeros(len(keys), dtype=np.int64)
+            slots = parents + (keys.astype(np.int64) & ((1 << stride) - 1))
+            size = 1 << strides[l + 1]
+            start = pool.alloc_block(int(keys.size) * size)
+            bases = start + np.arange(keys.size, dtype=np.int64) * size
+            self._block_sizes.update(dict.fromkeys(bases.tolist(), size))
+            pool.child[slots] = bases
+            block = slice(start, start + keys.size * size)
+            pool.hop[block] = np.repeat(pool.hop[slots], size)
+            pool.plen[block] = np.repeat(pool.plen[slots], size)
+            self.node_count += int(keys.size)
+            self.entry_count += int(keys.size) * size
+            node_keys, node_bases = keys, bases
+        self._invalidate_batch()
 
     def _level_of(self, length: int) -> int:
         """Index of the stride level a prefix of ``length`` expands into."""
@@ -83,23 +175,28 @@ class MultibitTrie(LongestPrefixMatcher):
                 f"prefix width {prefix.width} != trie width {self.width}"
             )
         level = self._level_of(prefix.length)
-        node = self.root
+        pool = self.pool
+        base = 0
         consumed = 0
         for lvl in range(level):
             stride = self.strides[lvl]
             index = (prefix.value >> (self.width - consumed - stride)) & (
                 (1 << stride) - 1
             )
-            child = node.children[index]
-            if child is None:
-                # A new child inherits the covering (hop, length) of its slot
-                # so expansion preserves LPM semantics.
+            entry = base + index
+            child = int(pool.child[entry])
+            if child < 0:
+                # A new block inherits the covering (hop, length) of its
+                # slot so expansion preserves LPM semantics.
                 size = 1 << self.strides[lvl + 1]
-                child = _MultibitNode(size, node.hops[index], node.lens[index])
-                node.children[index] = child
+                child = pool.alloc_block(size)
+                self._block_sizes[child] = size
+                pool.hop[child : child + size] = pool.hop[entry]
+                pool.plen[child : child + size] = pool.plen[entry]
+                pool.child[entry] = child
                 self.node_count += 1
                 self.entry_count += size
-            node = child
+            base = child
             consumed += stride
         stride = self.strides[level]
         boundary = consumed + stride
@@ -109,68 +206,68 @@ class MultibitTrie(LongestPrefixMatcher):
             first = (prefix.value >> (self.width - boundary)) & ((1 << stride) - 1)
             count = 1 << (boundary - prefix.length)
         for i in range(first, first + count):
-            self._paint(node, i, hop, prefix.length)
+            self._paint(base + i, hop, prefix.length)
         self._invalidate_batch()
 
-    def _paint(self, node: _MultibitNode, index: int, hop: NextHop, length: int) -> None:
-        if length >= node.lens[index]:
-            node.hops[index] = hop
-            node.lens[index] = length
-        child = node.children[index]
-        if child is not None:
-            for i in range(len(child.hops)):
-                self._paint(child, i, hop, length)
+    def _paint(self, entry: int, hop: NextHop, length: int) -> None:
+        pool = self.pool
+        if length >= pool.plen[entry]:
+            pool.hop[entry] = hop
+            pool.plen[entry] = length
+        child = int(pool.child[entry])
+        if child >= 0:
+            # Repaint the whole child block (and recurse under its entries).
+            stack = [child]
+            while stack:
+                b = stack.pop()
+                size = self._block_size(b)
+                block = slice(b, b + size)
+                covered = pool.plen[block] <= length
+                pool.hop[block][covered] = hop
+                pool.plen[block][covered] = length
+                kids = pool.child[block]
+                stack.extend(int(k) for k in kids[kids >= 0])
+
+    def _block_size(self, base: int) -> int:
+        """Entries in the block starting at ``base`` (recorded at creation
+        because strides — hence block sizes — may differ per level)."""
+        return self._block_sizes[base]
+
+    # -- lookup ------------------------------------------------------------
 
     def lookup(self, address: int) -> NextHop:
         counter = self.counter
         counter.start()
-        node: Optional[_MultibitNode] = self.root
+        pool = self.pool
+        hop_col, child_col = pool.hop, pool.child
+        base = 0
         consumed = 0
         best = NO_ROUTE
         for stride in self.strides:
-            assert node is not None
             index = (address >> (self.width - consumed - stride)) & (
                 (1 << stride) - 1
             )
+            entry = base + index
             counter.touch()  # one node-entry read per level
-            if node.hops[index] != NO_ROUTE:
-                best = node.hops[index]
-            node = node.children[index]
+            hop = int(hop_col[entry])
+            if hop != NO_ROUTE:
+                best = hop
+            base = int(child_col[entry])
             consumed += stride
-            if node is None:
+            if base < 0:
                 break
         counter.finish()
         return best
 
     def _compile_batch_kernel(self) -> BatchKernel:
-        """Flatten every node's entries into hop/child arrays (per-node base
-        offsets) so a whole address batch descends one stride level per
-        vector op.  Access counts match :meth:`lookup`: one entry read per
-        level visited."""
-        bases: List[int] = []
-        flat_hops: List[List[NextHop]] = []
-        node_ids: dict[int, int] = {}
-        queue: List[_MultibitNode] = [self.root]
-        node_ids[id(self.root)] = 0
-        total = 0
-        nodes: List[_MultibitNode] = []
-        while queue:
-            node = queue.pop(0)
-            nodes.append(node)
-            bases.append(total)
-            total += len(node.hops)
-            for child in node.children:
-                if child is not None and id(child) not in node_ids:
-                    node_ids[id(child)] = len(node_ids)
-                    queue.append(child)
-        hop_flat = np.full(total, NO_ROUTE, dtype=np.int64)
-        child_flat = np.full(total, -1, dtype=np.int64)
-        for node, base in zip(nodes, bases):
-            hop_flat[base : base + len(node.hops)] = node.hops
-            for i, child in enumerate(node.children):
-                if child is not None:
-                    child_flat[base + i] = node_ids[id(child)]
-        node_base = np.asarray(bases, dtype=np.int64)
+        """Descend one stride level per vector op, reading the entry pool
+        directly (child pointers are block bases, so ``base + index`` is
+        the entry id with no per-node indirection).  Access counts match
+        :meth:`lookup`: one entry read per level visited."""
+        pool = self.pool
+        n = pool.size
+        hop_flat = pool.hop[:n].astype(np.int64)
+        child_flat = pool.child[:n].astype(np.int64)
         width = self.width
         strides = self.strides
 
@@ -179,14 +276,14 @@ class MultibitTrie(LongestPrefixMatcher):
             best = np.full(n, NO_ROUTE, dtype=np.int64)
             accesses = np.zeros(n, dtype=np.int64)
             lanes = np.arange(n)
-            nodes_now = np.zeros(n, dtype=np.int64)
+            bases = np.zeros(n, dtype=np.int64)
             consumed = 0
             for stride in strides:
                 shift = np.uint64(width - consumed - stride)
                 index = (
                     (addrs[lanes] >> shift) & np.uint64((1 << stride) - 1)
                 ).astype(np.int64)
-                entry = node_base[nodes_now] + index
+                entry = bases + index
                 accesses[lanes] += 1
                 hop = hop_flat[entry]
                 painted = hop != NO_ROUTE
@@ -196,7 +293,7 @@ class MultibitTrie(LongestPrefixMatcher):
                 lanes = lanes[alive]
                 if lanes.size == 0:
                     break
-                nodes_now = advanced[alive]
+                bases = advanced[alive]
                 consumed += stride
             return best, accesses
 
@@ -204,3 +301,6 @@ class MultibitTrie(LongestPrefixMatcher):
 
     def storage_bytes(self) -> int:
         return self.entry_count * ENTRY_BYTES
+
+    def pool_bytes(self) -> int:
+        return self.pool.nbytes()

@@ -1,0 +1,108 @@
+"""Flat structure-of-arrays node pools for the packed matchers.
+
+Every trie in this package stores its nodes as parallel numpy columns
+indexed by a node id, instead of linked Python objects: a "node" is just
+an integer.  :class:`NodePool` owns the columns, grows them with amortized
+doubling, and recycles ids freed by incremental deletes.  Construction at
+full-BGP scale (10^6 prefixes) then allocates a handful of arrays rather
+than millions of objects, and the batch kernels read the columns directly.
+
+``pool_bytes`` (the sum of live column bytes) is the *measured* footprint
+of a matcher; the per-structure ``storage_bytes`` methods keep modelling
+the papers' idealized layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+#: Column spec: name -> (dtype, fill value for fresh/freed slots).
+FieldSpec = Mapping[str, Tuple[type, int]]
+
+
+class NodePool:
+    """Growable structure-of-arrays storage with a free list.
+
+    Columns are exposed as attributes (``pool.hop``, ``pool.child0``, ...)
+    holding the *backing* arrays; always re-read the attribute after a call
+    that may allocate, since growth replaces the arrays.  Only slots below
+    ``size`` are meaningful.
+    """
+
+    def __init__(self, fields: FieldSpec, capacity: int = 16):
+        self._names: List[str] = []
+        self._fills: Dict[str, int] = {}
+        self.capacity = max(int(capacity), 1)
+        self.size = 0
+        self.freed: List[int] = []
+        for name, (dtype, fill) in fields.items():
+            if hasattr(self, name):
+                raise ValueError(f"reserved column name: {name}")
+            self._names.append(name)
+            self._fills[name] = fill
+            setattr(self, name, np.full(self.capacity, fill, dtype=dtype))
+
+    # -- allocation --------------------------------------------------------
+
+    def reserve(self, capacity: int) -> None:
+        """Grow the columns to at least ``capacity`` slots."""
+        if capacity <= self.capacity:
+            return
+        cap = self.capacity
+        while cap < capacity:
+            cap *= 2
+        for name in self._names:
+            old = getattr(self, name)
+            new = np.full(cap, self._fills[name], dtype=old.dtype)
+            new[: self.size] = old[: self.size]
+            setattr(self, name, new)
+        self.capacity = cap
+
+    def alloc(self) -> int:
+        """One slot, recycled from the free list when possible."""
+        if self.freed:
+            index = self.freed.pop()
+            for name in self._names:
+                getattr(self, name)[index] = self._fills[name]
+            return index
+        self.reserve(self.size + 1)
+        index = self.size
+        self.size += 1
+        return index
+
+    def alloc_block(self, count: int) -> int:
+        """``count`` contiguous fresh slots; returns the first index."""
+        self.reserve(self.size + count)
+        index = self.size
+        self.size += count
+        return index
+
+    def free(self, index: int) -> None:
+        """Return a slot to the free list (contents reset on reuse)."""
+        self.freed.append(index)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def live(self) -> int:
+        """Slots allocated and not freed."""
+        return self.size - len(self.freed)
+
+    def nbytes(self) -> int:
+        """Bytes of the live portion of every column (freed slots are
+        counted: they occupy memory until reuse)."""
+        return sum(
+            getattr(self, name)[: self.size].nbytes for name in self._names
+        )
+
+    def column(self, name: str) -> np.ndarray:
+        """The live portion of one column (a view; do not resize)."""
+        return getattr(self, name)[: self.size]
+
+    def __repr__(self) -> str:
+        return (
+            f"NodePool({self.size}/{self.capacity} slots, "
+            f"{len(self._names)} columns, {len(self.freed)} freed)"
+        )

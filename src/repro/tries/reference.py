@@ -28,8 +28,31 @@ class HashReferenceMatcher(LongestPrefixMatcher):
         self._by_length: Dict[int, Dict[int, NextHop]] = {}
         self._lengths: list[int] = []
         if table is not None:
-            for prefix, hop in table.routes():
-                self.insert(prefix, hop)
+            if table.width <= 64 and len(table) > 0:
+                self._bulk_build(table)
+            else:
+                for prefix, hop in table.routes():
+                    self.insert(prefix, hop)
+
+    def _bulk_build(self, table: RoutingTable) -> None:
+        """Array-native build (width ≤ 64): group the route columns by
+        length and zip each group straight into its bucket — no per-prefix
+        objects at full-table scale."""
+        from .base import sorted_route_arrays
+
+        values, lengths, hops = sorted_route_arrays(table)
+        width = self.width
+        for length in np.unique(lengths).tolist():
+            sel = lengths == length
+            if length:
+                keys = values[sel] >> np.uint64(width - length)
+            else:
+                keys = np.zeros(int(np.count_nonzero(sel)), dtype=np.uint64)
+            self._by_length[int(length)] = dict(
+                zip(keys.tolist(), hops[sel].tolist())
+            )
+        self._lengths = sorted(self._by_length, reverse=True)
+        self._invalidate_batch()
 
     def insert(self, prefix: Prefix, next_hop: NextHop) -> None:
         bucket = self._by_length.get(prefix.length)

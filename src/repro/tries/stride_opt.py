@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from ..routing.table import RoutingTable
 from .binary_trie import BinaryTrie
 
@@ -27,14 +29,17 @@ def nodes_per_depth(table: RoutingTable) -> List[int]:
     Depths beyond the deepest route have zero nodes.
     """
     trie = BinaryTrie(table)
+    pool = trie.pool
+    child0 = pool.child0[: pool.size].astype(np.int64)
+    child1 = pool.child1[: pool.size].astype(np.int64)
     counts = [0] * (table.width + 1)
-    stack = [(trie.root, 0)]
-    while stack:
-        node, depth = stack.pop()
-        counts[depth] += 1
-        for child in node.children:
-            if child is not None:
-                stack.append((child, depth + 1))
+    frontier = np.zeros(1, dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        counts[depth] = int(frontier.size)
+        step = np.concatenate([child0[frontier], child1[frontier]])
+        frontier = step[step >= 0]
+        depth += 1
     return counts
 
 
@@ -43,16 +48,20 @@ def internal_nodes_per_depth(table: RoutingTable) -> List[int]:
     multibit trie allocates a next-level array for.  The root is counted
     unconditionally (the level-1 array always exists)."""
     trie = BinaryTrie(table)
+    pool = trie.pool
+    child0 = pool.child0[: pool.size].astype(np.int64)
+    child1 = pool.child1[: pool.size].astype(np.int64)
     counts = [0] * (table.width + 1)
     counts[0] = 1
-    stack = [(trie.root, 0)]
-    while stack:
-        node, depth = stack.pop()
-        for child in node.children:
-            if child is not None:
-                if child.children[0] is not None or child.children[1] is not None:
-                    counts[depth + 1] += 1
-                stack.append((child, depth + 1))
+    frontier = np.zeros(1, dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        step = np.concatenate([child0[frontier], child1[frontier]])
+        frontier = step[step >= 0]
+        depth += 1
+        if frontier.size and depth <= table.width:
+            internal = (child0[frontier] >= 0) | (child1[frontier] >= 0)
+            counts[depth] = int(np.count_nonzero(internal))
     return counts
 
 
