@@ -123,6 +123,12 @@ def compare_engines(packets_per_lc: int, table=None) -> dict:
         "events": events,
         "packets": r_a.packets,
         "hit_rate": hits / lookups if lookups else 0.0,
+        # Tail-latency SLO snapshot (identical across engines by the
+        # assertion above; reported so profiling runs watch the tail,
+        # not just the mean, when a change shifts the event schedule).
+        "p50": r_a.percentile(50),
+        "p99": r_a.percentile(99),
+        "p999": r_a.percentile(99.9),
         "scalar_s": loop_s,
         "array_s": loop_a,
         "scalar_eps": events / loop_s,
@@ -220,6 +226,8 @@ def main() -> None:
     print(f"  {stats['events']} events, cache hit rate "
           f"{stats['hit_rate']:.4f}, array speedup "
           f"{stats['ratio']:.2f}x (bit-identical results)")
+    print(f"  lookup latency p50 {stats['p50']:.1f}  p99 {stats['p99']:.1f}  "
+          f"p99.9 {stats['p999']:.1f} cycles (both engines)")
     print()
 
     if "--profile" in sys.argv[1:]:

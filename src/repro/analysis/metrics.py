@@ -81,6 +81,8 @@ def degraded_mode_summary(result: SimulationResult) -> Dict[str, object]:
         "ingress_drops": drops.get("ingress", 0),
         "crash_drops": drops.get("crash", 0),
         "unreachable_drops": drops.get("unreachable", 0),
+        "queue_full_drops": drops.get("queue_full", 0),
+        "shed_drops": drops.get("shed", 0),
         "delivery_rate": round(result.packets / offered, 6) if offered else 0.0,
         "retries": getattr(result, "retries", 0),
         "fabric_lost": getattr(result, "fabric_dropped_messages", 0),

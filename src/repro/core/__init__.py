@@ -9,7 +9,15 @@ from .fabric import (
     SharedBusFabric,
     default_fabric,
 )
-from .faults import FabricDegradation, FaultSchedule, LCFailure, LCRecovery
+from .faults import (
+    FabricDegradation,
+    FaultSchedule,
+    LCCacheDegradation,
+    LCFailure,
+    LCRecovery,
+    LCSlowdown,
+    LinkFlap,
+)
 from .line_card import FEStats, ForwardingEngine, LineCard
 from .lr_cache import LOC, REM, CacheEntry, CacheStats, LRCache
 from .partition import (
@@ -43,6 +51,9 @@ __all__ = [
     "LCFailure",
     "LCRecovery",
     "FabricDegradation",
+    "LCSlowdown",
+    "LinkFlap",
+    "LCCacheDegradation",
     "LineCard",
     "ForwardingEngine",
     "FEStats",

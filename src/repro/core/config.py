@@ -94,6 +94,26 @@ class SpalConfig:
         :class:`~repro.errors.UnreachablePatternError` (no live replica
         holds the pattern) or :class:`~repro.errors.LookupTimeoutError`
         (replicas live but every attempt timed out) — a debugging aid.
+    fe_queue_capacity:
+        Bound on each FE request queue, in queued lookups.  ``None`` (the
+        default) keeps today's unbounded queues — bit-identical to the
+        pre-overload simulator.  With a bound, a lookup that would find
+        ``capacity`` or more requests already queued is dropped
+        (``queue_full``), and the armed ``shed_policy`` may shed earlier.
+    fabric_queue_capacity:
+        Bound on each fabric source port's outgoing queue, in messages.
+        ``None`` = unbounded (bit-identical); bounded ports drop messages
+        that would exceed the backlog, the affected lookup becoming a
+        counted ``queue_full``/``shed`` drop.
+    shed_policy:
+        How bounded queues shed load before they are hard-full:
+        ``"tail_drop"`` (drop only at capacity), ``"red"`` (RED-style
+        probabilistic early drop above half occupancy, seeded by
+        ``shed_seed``), or ``"priority"`` (remote/REM traffic sheds above
+        half occupancy while local traffic rides to capacity).
+    shed_seed:
+        Seed for the RED early-drop RNG; used only when a capacity is set
+        and the policy draws (``red``).
     """
 
     n_lcs: int = 16
@@ -110,12 +130,28 @@ class SpalConfig:
     rem_timeout_cycles: Optional[int] = None
     rem_max_retries: int = 2
     on_unreachable: str = "drop"
+    fe_queue_capacity: Optional[int] = None
+    fabric_queue_capacity: Optional[int] = None
+    shed_policy: str = "tail_drop"
+    shed_seed: int = 0
 
     def validate(self) -> None:
         if self.n_lcs <= 0:
             raise SimulationError("n_lcs must be positive")
         if self.fe_lookup_cycles <= 0:
             raise SimulationError("fe_lookup_cycles must be positive")
+        if self.fe_queue_capacity is not None and self.fe_queue_capacity <= 0:
+            raise SimulationError("fe_queue_capacity must be positive")
+        if (
+            self.fabric_queue_capacity is not None
+            and self.fabric_queue_capacity <= 0
+        ):
+            raise SimulationError("fabric_queue_capacity must be positive")
+        if self.shed_policy not in ("tail_drop", "red", "priority"):
+            raise SimulationError(
+                "shed_policy must be 'tail_drop', 'red' or 'priority', "
+                f"got {self.shed_policy!r}"
+            )
         if self.rem_timeout_cycles is not None and self.rem_timeout_cycles <= 0:
             raise SimulationError("rem_timeout_cycles must be positive")
         if self.rem_max_retries < 0:

@@ -78,6 +78,13 @@ class Fabric(ABC):
         self.messages += 1
         return arrive
 
+    def queue_backlog(self, src: int, when: int) -> int:
+        """Messages already queued on ``src``'s outgoing port at ``when`` —
+        a message offered now departs after this many predecessors.  Bounded
+        fabrics compare it against ``fabric_queue_capacity`` before
+        admitting a message."""
+        return max(0, self._out_free[src] - when)
+
     def reset(self) -> None:
         self._out_free = [0] * self.n_lcs
         self._in_free = [0] * self.n_lcs
@@ -136,6 +143,9 @@ class SharedBusFabric(Fabric):
         self._bus_free = depart + 1
         self.messages += 1
         return depart + self.latency_cycles() + self.extra_latency_at(depart)
+
+    def queue_backlog(self, src: int, when: int) -> int:
+        return max(0, self._bus_free - when)
 
     def reset(self) -> None:
         super().reset()

@@ -16,6 +16,22 @@ interleaves with packet arrivals:
   fabric message pays extra latency and/or is dropped with a probability
   drawn from the schedule's seeded RNG.
 
+**Gray failures** extend the fail-stop model with partial degradation —
+the card is up, just *wrong-slow* or *wrong-lossy*:
+
+* :meth:`FaultSchedule.slow_lc` — a window during which one LC's FE
+  service time is multiplied (a thermally-throttled or firmware-degraded
+  engine; lookups queue behind the slowdown);
+* :meth:`FaultSchedule.flap_link` — periodic fabric loss bursts: inside
+  the window, messages entering the fabric during the first
+  ``down_cycles`` of every ``period`` are lost (deterministically — a
+  flapping optic, not random noise); affected lookups recover through
+  the remote-timeout machinery;
+* :meth:`FaultSchedule.degrade_lc_cache` — a window during which a
+  fraction of one LC's cache hits are forced to miss (bit-flip scrubbing,
+  a failing SRAM bank); the entry is discarded and the lookup takes the
+  full miss path.
+
 Everything is deterministic: the same schedule, seeds and streams produce
 bit-identical :class:`~repro.sim.results.SimulationResult` objects across
 repeats and across the batch fast path being on or off, and an *empty*
@@ -58,6 +74,44 @@ class FabricDegradation:
     drop_prob: float = 0.0
 
 
+@dataclass(frozen=True)
+class LCSlowdown:
+    """A gray failure: LC ``lc``'s FE service time is multiplied by
+    ``multiplier`` for lookups starting in ``[start, end)``."""
+
+    start: int
+    end: int
+    lc: int
+    multiplier: float
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A gray failure: inside ``[start, end)``, messages entering the
+    fabric during the first ``down_cycles`` of every ``period`` are lost.
+    ``src``/``dst`` of ``None`` match any source/destination LC."""
+
+    start: int
+    end: int
+    period: int
+    down_cycles: int
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LCCacheDegradation:
+    """A gray failure: over ``[start, end)``, a ``miss_fraction`` of LC
+    ``lc``'s would-be cache hits are forced to miss (the entry is
+    discarded and the lookup takes the full miss path); draws come from
+    the schedule's seeded RNG in event order."""
+
+    start: int
+    end: int
+    lc: int
+    miss_fraction: float
+
+
 class FaultSchedule:
     """A scripted, deterministic sequence of fault events.
 
@@ -81,6 +135,9 @@ class FaultSchedule:
         self.failures: List[LCFailure] = []
         self.recoveries: List[LCRecovery] = []
         self.degradations: List[FabricDegradation] = []
+        self.slowdowns: List[LCSlowdown] = []
+        self.link_flaps: List[LinkFlap] = []
+        self.cache_degradations: List[LCCacheDegradation] = []
 
     # -- builders ------------------------------------------------------------
 
@@ -125,13 +182,99 @@ class FaultSchedule:
         )
         return self
 
+    def slow_lc(
+        self, start: int, end: int, lc: int, multiplier: float
+    ) -> "FaultSchedule":
+        """Multiply LC ``lc``'s FE service time by ``multiplier`` for
+        lookups starting in ``[start, end)``."""
+        if start < 0 or end <= start:
+            raise FaultScheduleError(
+                f"slowdown window [{start}, {end}) is empty or negative"
+            )
+        if lc < 0:
+            raise FaultScheduleError(f"LC index must be >= 0, got {lc}")
+        if multiplier < 1.0:
+            raise FaultScheduleError(
+                f"slowdown multiplier must be >= 1.0, got {multiplier}"
+            )
+        self.slowdowns.append(
+            LCSlowdown(int(start), int(end), int(lc), float(multiplier))
+        )
+        return self
+
+    def flap_link(
+        self,
+        start: int,
+        end: int,
+        period: int,
+        down_cycles: int,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> "FaultSchedule":
+        """Periodic fabric loss: inside ``[start, end)``, messages entering
+        the fabric during the first ``down_cycles`` of every ``period`` are
+        lost; ``src``/``dst`` of ``None`` match any LC."""
+        if start < 0 or end <= start:
+            raise FaultScheduleError(
+                f"flap window [{start}, {end}) is empty or negative"
+            )
+        if period <= 0:
+            raise FaultScheduleError(f"flap period must be positive, got {period}")
+        if not 0 < down_cycles <= period:
+            raise FaultScheduleError(
+                f"down_cycles must be in (0, period], got {down_cycles} "
+                f"with period {period}"
+            )
+        if src is not None and src < 0:
+            raise FaultScheduleError(f"LC index must be >= 0, got {src}")
+        if dst is not None and dst < 0:
+            raise FaultScheduleError(f"LC index must be >= 0, got {dst}")
+        self.link_flaps.append(
+            LinkFlap(
+                int(start),
+                int(end),
+                int(period),
+                int(down_cycles),
+                None if src is None else int(src),
+                None if dst is None else int(dst),
+            )
+        )
+        return self
+
+    def degrade_lc_cache(
+        self, start: int, end: int, lc: int, miss_fraction: float
+    ) -> "FaultSchedule":
+        """Force a ``miss_fraction`` of LC ``lc``'s cache hits to miss over
+        ``[start, end)`` (seeded RNG, drawn in event order)."""
+        if start < 0 or end <= start:
+            raise FaultScheduleError(
+                f"cache-degradation window [{start}, {end}) is empty or negative"
+            )
+        if lc < 0:
+            raise FaultScheduleError(f"LC index must be >= 0, got {lc}")
+        if not 0.0 < miss_fraction < 1.0:
+            raise FaultScheduleError(
+                f"miss_fraction must be in (0, 1), got {miss_fraction}"
+            )
+        self.cache_degradations.append(
+            LCCacheDegradation(int(start), int(end), int(lc), float(miss_fraction))
+        )
+        return self
+
     # -- queries -------------------------------------------------------------
 
     @property
     def empty(self) -> bool:
         """True when the schedule carries no events at all — the simulator
         then behaves bit-identically to a run with no schedule."""
-        return not (self.failures or self.recoveries or self.degradations)
+        return not (
+            self.failures
+            or self.recoveries
+            or self.degradations
+            or self.slowdowns
+            or self.link_flaps
+            or self.cache_degradations
+        )
 
     @property
     def has_lc_events(self) -> bool:
@@ -139,7 +282,9 @@ class FaultSchedule:
 
     @property
     def has_drops(self) -> bool:
-        return any(d.drop_prob > 0.0 for d in self.degradations)
+        return bool(self.link_flaps) or any(
+            d.drop_prob > 0.0 for d in self.degradations
+        )
 
     def lc_events(self) -> List[Tuple[int, str, int]]:
         """All LC events as ``(cycle, kind, lc)``, time-ordered; a failure
@@ -160,6 +305,41 @@ class FaultSchedule:
                 survive *= 1.0 - d.drop_prob
         return 1.0 - survive
 
+    def fe_service_cycles(self, cycle: int, lc: int, base: int) -> int:
+        """LC ``lc``'s FE service time for a lookup starting at ``cycle``:
+        ``base`` scaled by every active slowdown window (multipliers
+        compose), rounded, never below one cycle."""
+        scale = 1.0
+        for s in self.slowdowns:
+            if s.lc == lc and s.start <= cycle < s.end:
+                scale *= s.multiplier
+        if scale == 1.0:
+            return base
+        return max(1, int(round(base * scale)))
+
+    def flap_drops(self, cycle: int, src: int, dst: int) -> bool:
+        """True when a message from ``src`` to ``dst`` entering the fabric
+        at ``cycle`` is lost to an active link flap (deterministic — no
+        RNG draw)."""
+        for f in self.link_flaps:
+            if (
+                f.start <= cycle < f.end
+                and (f.src is None or f.src == src)
+                and (f.dst is None or f.dst == dst)
+                and (cycle - f.start) % f.period < f.down_cycles
+            ):
+                return True
+        return False
+
+    def miss_fraction_at(self, cycle: int, lc: int) -> float:
+        """Forced-miss probability for a cache hit at LC ``lc`` at
+        ``cycle`` (overlapping windows compose as independent events)."""
+        survive = 1.0
+        for d in self.cache_degradations:
+            if d.lc == lc and d.start <= cycle < d.end:
+                survive *= 1.0 - d.miss_fraction
+        return 1.0 - survive
+
     def validate(self, n_lcs: Optional[int] = None) -> None:
         """Check the schedule against a router shape.
 
@@ -170,16 +350,25 @@ class FaultSchedule:
         """
         if n_lcs is None:
             return
-        for ev in [*self.failures, *self.recoveries]:
+        for ev in [*self.failures, *self.recoveries, *self.slowdowns, *self.cache_degradations]:
             if ev.lc >= n_lcs:
                 raise FaultScheduleError(
                     f"fault event names LC {ev.lc}, but the router has "
                     f"{n_lcs} LCs"
                 )
+        for f in self.link_flaps:
+            for lc in (f.src, f.dst):
+                if lc is not None and lc >= n_lcs:
+                    raise FaultScheduleError(
+                        f"fault event names LC {lc}, but the router has "
+                        f"{n_lcs} LCs"
+                    )
 
     def __repr__(self) -> str:
+        gray = len(self.slowdowns) + len(self.link_flaps) + len(self.cache_degradations)
         return (
             f"FaultSchedule({len(self.failures)} failures, "
             f"{len(self.recoveries)} recoveries, "
-            f"{len(self.degradations)} fabric windows, seed={self.seed})"
+            f"{len(self.degradations)} fabric windows, "
+            f"{gray} gray windows, seed={self.seed})"
         )

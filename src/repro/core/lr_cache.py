@@ -203,6 +203,13 @@ class LRCache:
             entry = self.victim.peek(address)
         return entry
 
+    def peek_main(self, address: int) -> Optional[CacheEntry]:
+        """Non-destructive main-set-only lookup (no stats, no LRU touch,
+        no victim).  The gray-failure forced-miss hook uses this: a victim
+        block cannot hold the discarded address, so a follow-up
+        :meth:`probe` is a genuine miss."""
+        return self._set_of(address).get(address)
+
     def allocate(self, address: int, mix: int) -> Optional[CacheEntry]:
         """Reserve a waiting (W=1) entry for an in-flight lookup.
 

@@ -24,6 +24,7 @@ from .cram_frontier import run_cram_frontier
 from .failover import run_failover
 from .ipv6_storage import run_ipv6_storage
 from .lc_fill import run_lc_fill_sweep
+from .overload import run_overload
 from .replication_exp import run_replication
 from .robustness import run_seed_robustness
 from .rt1_trend import run_rt1_trend
@@ -68,6 +69,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "aggregation": run_aggregation,
     "replication": run_replication,
     "failover": run_failover,
+    "overload": run_overload,
     "strides": run_stride_optimization,
     "rt1-trend": run_rt1_trend,
     "cram-frontier": run_cram_frontier,
@@ -106,6 +108,7 @@ __all__ = [
     "run_aggregation",
     "run_replication",
     "run_failover",
+    "run_overload",
     "run_stride_optimization",
     "run_rt1_trend",
     "run_cram_frontier",

@@ -56,6 +56,7 @@ from ..errors import (
     UnreachablePatternError,
 )
 from ..traffic.packets import ArrivalClock, arrival_times
+from .shedding import shed_decision
 
 #: Bits reserved for the event sequence number in the packed key
 #: ``(cycle << _SEQ_BITS) | seq``.  Keys are Python ints, so the cycle
@@ -228,6 +229,16 @@ class ArrayEngine:
         drops_dict = sim.drops
         m_drops = sim._m_drops
         m_rem_rt_vals: List[int] = []
+        # Bounded-queue / gray-failure knobs (None / False = legacy paths,
+        # keeping unbounded runs bit-identical to older engines).
+        fe_cap = config.fe_queue_capacity
+        fab_cap = config.fabric_queue_capacity
+        shed_policy = config.shed_policy
+        srand = sim._shed_rng.random if sim._shed_rng is not None else None
+        has_slow = faults is not None and bool(faults.slowdowns)
+        has_flap = faults is not None and bool(faults.link_flaps)
+        has_gray = faults is not None and bool(faults.cache_degradations)
+        max_fab_backlog = 0
 
         # -- flat fault state (written back at the end) -------------------
         failed = list(sim._failed)
@@ -662,7 +673,23 @@ class ArrayEngine:
                     drop(waiter if waiter >= 0 else ~waiter, reason, now)
 
         def send(src: int, dst: int, when: int, kind: int, a: int, b) -> None:
-            nonlocal seq, fab_msgs
+            nonlocal seq, fab_msgs, max_fab_backlog
+            if fab_cap is not None:
+                if inline_fab:
+                    backlog = fab_out[src] - (when + fil)
+                    if backlog < 0:
+                        backlog = 0
+                else:
+                    backlog = fabric.queue_backlog(src, when + fil)
+                reason = shed_decision(
+                    shed_policy, backlog, fab_cap, kind == _K_REMREQ, srand
+                )
+                if reason is not None:
+                    # Scalar _send drops at queue.now; when is always now+1.
+                    drop(a, reason, when - 1)
+                    return
+                if backlog > max_fab_backlog:
+                    max_fab_backlog = backlog
             if inline_fab:
                 depart = when + fil
                 of = fab_out[src]
@@ -680,11 +707,16 @@ class ArrayEngine:
                 arrive = fabric_transfer(src, dst, when + fil) + fil
             dropped = False
             if faults is not None:
-                prob = faults.drop_prob_at(when)
-                if prob > 0.0 and frand() < prob:
+                if has_flap and faults.flap_drops(when, src, dst):
                     sim.fabric_dropped_messages += 1
                     sim._m_fabric_dropped.value += 1
                     dropped = True
+                else:
+                    prob = faults.drop_prob_at(when)
+                    if prob > 0.0 and frand() < prob:
+                        sim.fabric_dropped_messages += 1
+                        sim._m_fabric_dropped.value += 1
+                        dropped = True
             if tr is not None:
                 tr.record(
                     "fabric.send", when, lc=src, pid=a, src=src, dst=dst,
@@ -696,15 +728,45 @@ class ArrayEngine:
                 seq += 1
                 heappush(heap, ((arrive << _SEQ_BITS) | seq, kind, a, b, 0, 0))
 
+        def shed_fe(p: int, lc: int, reason: str, home_eid: int,
+                    now: int) -> None:
+            # Scalar _shed_fe: discard the home-side reservation this FE
+            # run would have filled, drop everything parked on it, then
+            # drop the packet itself (idempotent).
+            if home_eid >= 0 and e_wait[home_eid]:
+                if has_cache:
+                    addr = e_addr[home_eid]
+                    s = fsets[e_idx[home_eid]]
+                    if s.get(addr) == home_eid:
+                        del s[addr]
+                w = e_waiters[home_eid]
+                e_waiters[home_eid] = []
+                for waiter in w:
+                    drop(waiter if waiter >= 0 else ~waiter, reason, now)
+            drop(p, reason, now)
+
         def fe_request(p: int, lc: int, now: int, origin: int,
                        home_eid: int) -> None:
             nonlocal seq
             nw = now + 1
             ff = fe_free[lc]
+            if fe_cap is not None:
+                backlog = (ff - nw) // fe_cycles if ff > nw else 0
+                reason = shed_decision(
+                    shed_policy, backlog, fe_cap, p_lc[p] != lc, srand
+                )
+                if reason is not None:
+                    shed_fe(p, lc, reason, home_eid, now)
+                    return
+            cycles = (
+                faults.fe_service_cycles(now, lc, fe_cycles)
+                if has_slow
+                else fe_cycles
+            )
             start = ff if ff > nw else nw
-            done = start + fe_cycles
+            done = start + cycles
             fe_free[lc] = done
-            fe_busy[lc] += fe_cycles
+            fe_busy[lc] += cycles
             fe_lookups[lc] += 1
             if tr is not None:
                 tr.record("fe", now, lc=lc, pid=p, start=start, done=done)
@@ -779,7 +841,14 @@ class ArrayEngine:
                 drop(p, "crash", now)
                 return
             addr = p_dest[p]
-            eid = fsets[p_set[p]].get(addr)
+            fs = fsets[p_set[p]]
+            if has_gray:
+                mf = faults.miss_fraction_at(now, lc)
+                if mf > 0.0:
+                    geid = fs.get(addr)
+                    if geid is not None and not e_wait[geid] and frand() < mf:
+                        del fs[addr]
+            eid = fs.get(addr)
             if eid is not None:
                 stamp[lc] = tick = stamp[lc] + 1
                 e_last[eid] = tick
@@ -861,7 +930,14 @@ class ArrayEngine:
                 return
             addr = p_dest[p]
             fidx = home * n_sets + p_idx[p]
-            eid = fsets[fidx].get(addr)
+            fs = fsets[fidx]
+            if has_gray:
+                mf = faults.miss_fraction_at(now, home)
+                if mf > 0.0:
+                    geid = fs.get(addr)
+                    if geid is not None and not e_wait[geid] and frand() < mf:
+                        del fs[addr]
+            eid = fs.get(addr)
             if eid is not None:
                 stamp[home] = tick = stamp[home] + 1
                 e_last[eid] = tick
@@ -1140,7 +1216,18 @@ class ArrayEngine:
                     port_free[lc] = now + 1
                     port_busy[lc] += 1
                     addr = p_dest[p]
-                    eid = fsets[p_set[p]].get(addr)
+                    fs = fsets[p_set[p]]
+                    if has_gray:
+                        mf = faults.miss_fraction_at(now, lc)
+                        if mf > 0.0:
+                            geid = fs.get(addr)
+                            if (
+                                geid is not None
+                                and not e_wait[geid]
+                                and frand() < mf
+                            ):
+                                del fs[addr]
+                    eid = fs.get(addr)
                     if eid is not None:
                         stamp[lc] = tick = stamp[lc] + 1
                         e_last[eid] = tick
@@ -1205,7 +1292,18 @@ class ArrayEngine:
                             port_free[lc] = t1 = t + 1
                             port_busy[lc] += 1
                             addr = p_dest[p]
-                            eid = fsets[p_set[p]].get(addr)
+                            fs = fsets[p_set[p]]
+                            if has_gray:
+                                mf = faults.miss_fraction_at(t, lc)
+                                if mf > 0.0:
+                                    geid = fs.get(addr)
+                                    if (
+                                        geid is not None
+                                        and not e_wait[geid]
+                                        and frand() < mf
+                                    ):
+                                        del fs[addr]
+                            eid = fs.get(addr)
                             if eid is not None:
                                 stamp[lc] = tick = stamp[lc] + 1
                                 e_last[eid] = tick
@@ -1255,7 +1353,18 @@ class ArrayEngine:
                             port_free[lc] = t1 = t + 1
                             port_busy[lc] += 1
                             addr = p_dest[p]
-                            eid = fsets[p_set[p]].get(addr)
+                            fs = fsets[p_set[p]]
+                            if has_gray:
+                                mf = faults.miss_fraction_at(t, lc)
+                                if mf > 0.0:
+                                    geid = fs.get(addr)
+                                    if (
+                                        geid is not None
+                                        and not e_wait[geid]
+                                        and frand() < mf
+                                    ):
+                                        del fs[addr]
+                            eid = fs.get(addr)
                             if eid is not None:
                                 stamp[lc] = tick = stamp[lc] + 1
                                 e_last[eid] = tick
@@ -1376,6 +1485,7 @@ class ArrayEngine:
         fabric.messages += fab_msgs
         sim.fe_lookups = fe_lookups
         sim.max_fe_backlog = max_backlog
+        sim.max_fabric_backlog = max_fab_backlog
         sim._failed = failed
         sim._fail_at = fail_at
         sim._down_cycles = down_cycles
@@ -1507,6 +1617,16 @@ class ArrayEngine:
         # times as they happen matches run()'s end-of-run observe_many.
         rem_rt_observe = sim._m_rem_rt.observe
         track_failover = faults is not None or timeout is not None
+        # Bounded-queue / gray-failure knobs (None / False = legacy paths,
+        # keeping unbounded runs bit-identical to older engines).
+        fe_cap = config.fe_queue_capacity
+        fab_cap = config.fabric_queue_capacity
+        shed_policy = config.shed_policy
+        srand = sim._shed_rng.random if sim._shed_rng is not None else None
+        has_slow = faults is not None and bool(faults.slowdowns)
+        has_flap = faults is not None and bool(faults.link_flaps)
+        has_gray = faults is not None and bool(faults.cache_degradations)
+        max_fab_backlog = 0
 
         # -- flat fault state (written back at the end) -------------------
         failed = list(sim._failed)
@@ -2204,7 +2324,24 @@ class ArrayEngine:
                     pderef(wp)
 
         def send(src: int, dst: int, when: int, kind: int, a: int, b) -> None:
-            nonlocal seq, fab_msgs
+            nonlocal seq, fab_msgs, max_fab_backlog
+            if fab_cap is not None:
+                if inline_fab:
+                    backlog = fab_out[src] - (when + fil)
+                    if backlog < 0:
+                        backlog = 0
+                else:
+                    backlog = fabric.queue_backlog(src, when + fil)
+                reason = shed_decision(
+                    shed_policy, backlog, fab_cap, kind == _K_REMREQ, srand
+                )
+                if reason is not None:
+                    # Scalar _send drops at queue.now; when is always now+1.
+                    # No event is pushed, so no reference is taken.
+                    drop(a, reason, when - 1)
+                    return
+                if backlog > max_fab_backlog:
+                    max_fab_backlog = backlog
             if inline_fab:
                 depart = when + fil
                 of = fab_out[src]
@@ -2222,11 +2359,16 @@ class ArrayEngine:
                 arrive = fabric_transfer(src, dst, when + fil) + fil
             dropped = False
             if faults is not None:
-                prob = faults.drop_prob_at(when)
-                if prob > 0.0 and frand() < prob:
+                if has_flap and faults.flap_drops(when, src, dst):
                     sim.fabric_dropped_messages += 1
                     sim._m_fabric_dropped.value += 1
                     dropped = True
+                else:
+                    prob = faults.drop_prob_at(when)
+                    if prob > 0.0 and frand() < prob:
+                        sim.fabric_dropped_messages += 1
+                        sim._m_fabric_dropped.value += 1
+                        dropped = True
             if tr is not None:
                 tr.record(
                     "fabric.send", when, lc=src, pid=p_gpid[a], src=src,
@@ -2239,15 +2381,48 @@ class ArrayEngine:
                 p_ref[a] += 1
                 heappush(heap, ((arrive << _SEQ_BITS) | seq, kind, a, b, 0, 0))
 
+        def shed_fe(p: int, lc: int, reason: str, home_eid: int,
+                    now: int) -> None:
+            # Scalar _shed_fe: discard the home-side reservation this FE
+            # run would have filled, drop everything parked on it, then
+            # drop the packet itself (idempotent).
+            if home_eid >= 0 and e_wait[home_eid]:
+                if has_cache:
+                    addr = e_addr[home_eid]
+                    s = fsets[e_idx[home_eid]]
+                    if s.get(addr) == home_eid:
+                        del s[addr]
+                        ederef(home_eid)
+                w = e_waiters[home_eid]
+                e_waiters[home_eid] = []
+                for waiter in w:
+                    wp = waiter if waiter >= 0 else ~waiter
+                    drop(wp, reason, now)
+                    pderef(wp)
+            drop(p, reason, now)
+
         def fe_request(p: int, lc: int, now: int, origin: int,
                        home_eid: int) -> None:
             nonlocal seq
             nw = now + 1
             ff = fe_free[lc]
+            if fe_cap is not None:
+                backlog = (ff - nw) // fe_cycles if ff > nw else 0
+                reason = shed_decision(
+                    shed_policy, backlog, fe_cap, p_lc[p] != lc, srand
+                )
+                if reason is not None:
+                    shed_fe(p, lc, reason, home_eid, now)
+                    return
+            cycles = (
+                faults.fe_service_cycles(now, lc, fe_cycles)
+                if has_slow
+                else fe_cycles
+            )
             start = ff if ff > nw else nw
-            done = start + fe_cycles
+            done = start + cycles
             fe_free[lc] = done
-            fe_busy[lc] += fe_cycles
+            fe_busy[lc] += cycles
             fe_lookups[lc] += 1
             if tr is not None:
                 tr.record("fe", now, lc=lc, pid=p_gpid[p], start=start,
@@ -2332,7 +2507,15 @@ class ArrayEngine:
                 drop(p, "crash", now)
                 return
             addr = p_dest[p]
-            eid = fsets[p_set[p]].get(addr)
+            fs = fsets[p_set[p]]
+            if has_gray:
+                mf = faults.miss_fraction_at(now, lc)
+                if mf > 0.0:
+                    geid = fs.get(addr)
+                    if geid is not None and not e_wait[geid] and frand() < mf:
+                        del fs[addr]
+                        ederef(geid)
+            eid = fs.get(addr)
             if eid is not None:
                 stamp[lc] = tick = stamp[lc] + 1
                 e_last[eid] = tick
@@ -2418,7 +2601,15 @@ class ArrayEngine:
                 return
             addr = p_dest[p]
             fidx = home * n_sets + p_idx[p]
-            eid = fsets[fidx].get(addr)
+            fs = fsets[fidx]
+            if has_gray:
+                mf = faults.miss_fraction_at(now, home)
+                if mf > 0.0:
+                    geid = fs.get(addr)
+                    if geid is not None and not e_wait[geid] and frand() < mf:
+                        del fs[addr]
+                        ederef(geid)
+            eid = fs.get(addr)
             if eid is not None:
                 stamp[home] = tick = stamp[home] + 1
                 e_last[eid] = tick
@@ -2721,7 +2912,19 @@ class ArrayEngine:
                     port_free[lc] = now + 1
                     port_busy[lc] += 1
                     addr = p_dest[p]
-                    eid = fsets[p_set[p]].get(addr)
+                    fs = fsets[p_set[p]]
+                    if has_gray:
+                        mf = faults.miss_fraction_at(now, lc)
+                        if mf > 0.0:
+                            geid = fs.get(addr)
+                            if (
+                                geid is not None
+                                and not e_wait[geid]
+                                and frand() < mf
+                            ):
+                                del fs[addr]
+                                ederef(geid)
+                    eid = fs.get(addr)
                     if eid is not None:
                         stamp[lc] = tick = stamp[lc] + 1
                         e_last[eid] = tick
@@ -2778,7 +2981,19 @@ class ArrayEngine:
                             port_free[lc] = t1 = t + 1
                             port_busy[lc] += 1
                             addr = p_dest[p]
-                            eid = fsets[p_set[p]].get(addr)
+                            fs = fsets[p_set[p]]
+                            if has_gray:
+                                mf = faults.miss_fraction_at(t, lc)
+                                if mf > 0.0:
+                                    geid = fs.get(addr)
+                                    if (
+                                        geid is not None
+                                        and not e_wait[geid]
+                                        and frand() < mf
+                                    ):
+                                        del fs[addr]
+                                        ederef(geid)
+                            eid = fs.get(addr)
                             if eid is not None:
                                 stamp[lc] = tick = stamp[lc] + 1
                                 e_last[eid] = tick
@@ -2843,7 +3058,19 @@ class ArrayEngine:
                             port_free[lc] = t1 = t + 1
                             port_busy[lc] += 1
                             addr = p_dest[p]
-                            eid = fsets[p_set[p]].get(addr)
+                            fs = fsets[p_set[p]]
+                            if has_gray:
+                                mf = faults.miss_fraction_at(t, lc)
+                                if mf > 0.0:
+                                    geid = fs.get(addr)
+                                    if (
+                                        geid is not None
+                                        and not e_wait[geid]
+                                        and frand() < mf
+                                    ):
+                                        del fs[addr]
+                                        ederef(geid)
+                            eid = fs.get(addr)
                             if eid is not None:
                                 stamp[lc] = tick = stamp[lc] + 1
                                 e_last[eid] = tick
@@ -2987,6 +3214,7 @@ class ArrayEngine:
         fabric.messages += fab_msgs
         sim.fe_lookups = fe_lookups
         sim.max_fe_backlog = max_backlog
+        sim.max_fabric_backlog = max_fab_backlog
         sim._failed = failed
         sim._fail_at = fail_at
         sim._down_cycles = down_cycles
@@ -3005,6 +3233,10 @@ class ArrayEngine:
         return {
             "horizon": horizon,
             "latencies": latencies,
-            "failover": failover_list if track_failover else None,
+            # Bounded-only runs enter the degraded-mode block too; without
+            # the retry machinery no packet can have attempt > 0, so the
+            # empty list is exact (and per-packet state is recycled, so
+            # the caller's fallback scan is unavailable anyway).
+            "failover": failover_list if track_failover else [],
             "n_events": processed,
         }

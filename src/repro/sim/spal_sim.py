@@ -79,6 +79,7 @@ from ..tries.reference import HashReferenceMatcher
 from ..traffic.packets import arrival_times
 from .engine import EventQueue, Resource
 from .results import SimulationResult
+from .shedding import shed_decision
 
 
 class _Packet:
@@ -229,7 +230,9 @@ class SpalSimulator:
         self._m_retries = self.obs.counter("sim.retries")
         self._m_drops = {
             reason: self.obs.counter("sim.drops", reason=reason)
-            for reason in ("ingress", "crash", "unreachable")
+            for reason in (
+                "ingress", "crash", "unreachable", "queue_full", "shed"
+            )
         }
         self._m_fabric_dropped = self.obs.counter("fabric.msgs", kind="dropped")
         self._m_flushes = self.obs.counter("sim.flushes")
@@ -281,8 +284,28 @@ class SpalSimulator:
         self._failed = [False] * n
         self._fail_at = [0] * n
         self._down_cycles = [0] * n
-        self.drops = {"ingress": 0, "crash": 0, "unreachable": 0}
+        self.drops = {
+            "ingress": 0,
+            "crash": 0,
+            "unreachable": 0,
+            "queue_full": 0,
+            "shed": 0,
+        }
         self.retries = 0
+        # -- bounded-queue state (inert with capacities of None) ----------
+        self._bounded = (
+            self.config.fe_queue_capacity is not None
+            or self.config.fabric_queue_capacity is not None
+        )
+        #: RED early-drop RNG; exists only on bounded runs so unbounded
+        #: runs stay bit-identical to the pre-overload simulator.
+        self._shed_rng: Optional[np.random.Generator] = (
+            np.random.default_rng(self.config.shed_seed)
+            if self._bounded
+            else None
+        )
+        #: Deepest bounded fabric source-port backlog observed (messages).
+        self.max_fabric_backlog = 0
         self.fabric_dropped_messages = 0
         self.fault_event_count = 0
         #: Plan epoch captured when per-stream homes were precomputed; any
@@ -316,20 +339,50 @@ class SpalSimulator:
     def _send(self, src: int, dst: int, when: int, handler, *args) -> None:
         """Send one fabric message and schedule its delivery handler.
 
-        Under a fabric-degradation window with ``drop_prob > 0`` the
-        message may be lost (seeded RNG, drawn in event order): the port
-        slots are still consumed — the message entered the fabric — but no
-        delivery fires, and the affected lookup recovers via the remote
-        timeout.
+        With a ``fabric_queue_capacity`` bound, the source port's backlog
+        is checked first: a message the shed policy rejects never enters
+        the fabric (no port slots consumed, no message counted) and its
+        packet becomes a ``queue_full``/``shed`` drop — requests are the
+        low-priority class under ``priority`` shedding, replies shed only
+        at hard-full.  Under a link flap the message is lost
+        deterministically; under a fabric-degradation window with
+        ``drop_prob > 0`` it may be lost (seeded RNG, drawn in event
+        order).  Lost messages still consume port slots — they entered the
+        fabric — but no delivery fires, and the affected lookup recovers
+        via the remote timeout.
         """
+        cap = self.config.fabric_queue_capacity
+        if cap is not None:
+            backlog = self.fabric.queue_backlog(
+                src, when + self.config.fil_overhead_cycles
+            )
+            reason = shed_decision(
+                self.config.shed_policy,
+                backlog,
+                cap,
+                # Bound-method comparison needs ==, not `is`.
+                handler == self._remote_request,
+                self._shed_rng.random,
+            )
+            if reason is not None:
+                self._drop(args[0], reason)
+                return
+            if backlog > self.max_fabric_backlog:
+                self.max_fabric_backlog = backlog
         arrive = self._transfer(src, dst, when)
         dropped = False
-        if self._faults is not None:
-            p = self._faults.drop_prob_at(when)
-            if p > 0.0 and self._fault_rng.random() < p:
+        faults = self._faults
+        if faults is not None:
+            if faults.link_flaps and faults.flap_drops(when, src, dst):
                 self.fabric_dropped_messages += 1
                 self._m_fabric_dropped.value += 1
                 dropped = True
+            else:
+                p = faults.drop_prob_at(when)
+                if p > 0.0 and self._fault_rng.random() < p:
+                    self.fabric_dropped_messages += 1
+                    self._m_fabric_dropped.value += 1
+                    dropped = True
         tr = self._trace
         if tr is not None:
             tr.record(
@@ -391,6 +444,27 @@ class SpalSimulator:
             )
         self._probe_at(pkt, lc, start)
 
+    def _forced_miss(self, cache: LRCache, dest: int, lc: int, now: int) -> None:
+        """Gray-failure hook: under an active ``degrade_lc_cache`` window,
+        discard the main-set entry for ``dest`` (complete entries only —
+        waiting reservations carry waiter lists and in-flight fills) so the
+        following :meth:`~repro.core.lr_cache.LRCache.probe` is a genuine
+        miss.  The RNG draw happens only when a discardable entry exists,
+        keeping the fault stream aligned across engines."""
+        faults = self._faults
+        if faults is None or not faults.cache_degradations:
+            return
+        mf = faults.miss_fraction_at(now, lc)
+        if mf <= 0.0:
+            return
+        entry = cache.peek_main(dest)
+        if (
+            entry is not None
+            and not entry.waiting
+            and self._fault_rng.random() < mf
+        ):
+            cache.discard_entry(entry)
+
     def _probe_at(self, pkt: _Packet, lc: int, now: int) -> None:
         if self._failed[lc]:
             # The LC died while this packet sat in its port queue.
@@ -398,6 +472,7 @@ class SpalSimulator:
             return
         cache = self.caches[lc]
         assert cache is not None
+        self._forced_miss(cache, pkt.dest, lc, now)
         entry = cache.probe(pkt.dest)
         if entry is not None:
             tr = self._trace
@@ -472,16 +547,65 @@ class SpalSimulator:
         reservation this FE run will fill at the home LC (remote flow) —
         passed explicitly so a failover retry issuing a second FE run for
         the same packet can never hijack another run's fill target.
+
+        With an ``fe_queue_capacity`` bound, the request-queue occupancy is
+        checked first (in base lookup units): a request the shed policy
+        rejects never reaches the FE (no lookup counted, no FE time
+        booked) and drops end-to-end — remote-origin lookups are the
+        low-priority class under ``priority`` shedding.  An active
+        :meth:`~repro.core.faults.FaultSchedule.slow_lc` window multiplies
+        the service time of accepted lookups.
         """
-        start, done = self.fes[lc].acquire(now + 1, self.config.fe_lookup_cycles)
+        base = self.config.fe_lookup_cycles
+        cap = self.config.fe_queue_capacity
+        if cap is not None:
+            nw = now + 1
+            ff = self.fes[lc].free_at
+            backlog = (ff - nw) // base if ff > nw else 0
+            reason = shed_decision(
+                self.config.shed_policy,
+                backlog,
+                cap,
+                pkt.arrival_lc != lc,
+                self._shed_rng.random,
+            )
+            if reason is not None:
+                self._shed_fe(pkt, lc, reason, home_entry)
+                return
+        cycles = base
+        faults = self._faults
+        if faults is not None and faults.slowdowns:
+            cycles = faults.fe_service_cycles(now, lc, base)
+        start, done = self.fes[lc].acquire(now + 1, cycles)
         self.fe_lookups[lc] += 1
         tr = self._trace
         if tr is not None:
             tr.record("fe", now, lc=lc, pid=pkt.pid, start=start, done=done)
-        backlog = (start - (now + 1)) // self.config.fe_lookup_cycles
+        backlog = (start - (now + 1)) // base
         if backlog > self.max_fe_backlog[lc]:
             self.max_fe_backlog[lc] = backlog
         self.queue.schedule(done, self._fe_done, pkt, lc, origin, home_entry)
+
+    def _shed_fe(self, pkt: _Packet, lc: int, reason: str, home_entry) -> None:
+        """Dispose of a lookup the FE admission check rejected.
+
+        The home-side reservation (if this FE run was to fill one) is
+        discarded so later packets stop parking on it, and everything
+        already parked shares the drop — same destination, same rejected
+        lookup.  ``pkt`` itself is usually among those waiters; ``_drop``
+        is idempotent either way.
+        """
+        if home_entry is not None and home_entry.waiting:
+            cache = self.caches[lc]
+            if cache is not None:
+                cache.discard_entry(home_entry)
+            waiters, home_entry.waiters = home_entry.waiters, []
+            for waiter in waiters:
+                if isinstance(waiter, _RemoteWaiter):
+                    self._drop(waiter.packet, reason)
+                else:
+                    self._drop(waiter, reason)
+        self._drop(pkt, reason)
 
     def _fe_done(
         self, pkt: _Packet, lc: int, origin: Optional[int], home_entry=None
@@ -575,6 +699,7 @@ class SpalSimulator:
             return
         cache = self.caches[home]
         assert cache is not None
+        self._forced_miss(cache, pkt.dest, home, now)
         entry = cache.probe(pkt.dest)
         if entry is not None:
             if entry.waiting:
@@ -642,7 +767,8 @@ class SpalSimulator:
 
     def _drop(self, pkt: _Packet, reason: str) -> None:
         """Account one packet as dropped (``ingress``/``crash``/
-        ``unreachable``) — graceful degradation, never an exception.
+        ``unreachable``/``queue_full``/``shed``) — graceful degradation,
+        never an exception.
 
         An abandoned arrival-side waiting entry is discarded so later
         packets stop parking on a result that will never arrive; anything
@@ -1254,12 +1380,34 @@ class SpalSimulator:
                 ],
                 dtype=np.int64,
             )
-        # Conservation: every offered packet either completed its lookup or
-        # is accounted as a drop — anything else is a simulator bug.
+        # Conservation audit: every offered packet either completed its
+        # lookup or is accounted as exactly one taxonomized drop, and
+        # bounded queues never admitted past their capacity — anything
+        # else is a simulator bug.
         if len(self.completed) + len(self.dropped_packets) != total:
             raise SimulationError(
                 f"{total - len(self.completed) - len(self.dropped_packets)} "
                 f"packets neither completed nor dropped"
+            )
+        if sum(self.drops.values()) != len(self.dropped_packets):
+            raise SimulationError(
+                f"drop taxonomy ({sum(self.drops.values())} across "
+                f"{self.drops}) does not account for the "
+                f"{len(self.dropped_packets)} dropped packets"
+            )
+        fe_cap = self.config.fe_queue_capacity
+        if fe_cap is not None:
+            for lc, depth in enumerate(self.max_fe_backlog):
+                if depth >= fe_cap:
+                    raise SimulationError(
+                        f"bounded FE queue at LC {lc} reached depth "
+                        f"{depth} with capacity {fe_cap}"
+                    )
+        fab_cap = self.config.fabric_queue_capacity
+        if fab_cap is not None and self.max_fabric_backlog >= fab_cap:
+            raise SimulationError(
+                f"bounded fabric port reached backlog "
+                f"{self.max_fabric_backlog} with capacity {fab_cap}"
             )
         if len(latencies) == 0 and not self.dropped_packets:
             raise SimulationError("warmup_packets left no measured packets")
@@ -1293,9 +1441,16 @@ class SpalSimulator:
             ],
             fabric_messages=self.fabric.messages,
             flushes=self.flushes,
-            extra={"max_fe_backlog": list(self.max_fe_backlog)},
+            extra=(
+                {
+                    "max_fe_backlog": list(self.max_fe_backlog),
+                    "max_fabric_backlog": self.max_fabric_backlog,
+                }
+                if self.config.fabric_queue_capacity is not None
+                else {"max_fe_backlog": list(self.max_fe_backlog)}
+            ),
         )
-        if self._faults is not None or self._timeout is not None:
+        if self._faults is not None or self._timeout is not None or self._bounded:
             # Degraded-mode metrics, populated only when the fault
             # machinery was armed: fault-free runs keep the dataclass
             # defaults and stay bit-identical to the pre-fault simulator.
@@ -1337,12 +1492,12 @@ class SpalSimulator:
                 self.invalidation_entries_dropped
             )
             result.churn_misses = self.churn_misses
-        self._fill_registry(horizon)
+        self._fill_registry(horizon, latencies)
         result.metrics_snapshot = self.obs.snapshot()
         self.phase_seconds["collect"] = time.perf_counter() - t0
         return result
 
-    def _fill_registry(self, horizon: int) -> None:
+    def _fill_registry(self, horizon: int, latencies: np.ndarray) -> None:
         """Publish end-of-run aggregates into the registry.
 
         Everything here is copied *at snapshot time* from counters the
@@ -1366,10 +1521,25 @@ class SpalSimulator:
                 self.fes[i].utilization(horizon)
             )
             obs.gauge("fe.max_backlog", lc=i).set(self.max_fe_backlog[i])
+            # The overload-visibility alias of fe.max_backlog: queue depth
+            # under the sim.* namespace, per the drop/SLO taxonomy.
+            obs.gauge("sim.fe.backlog_max", lc=i).set(self.max_fe_backlog[i])
+        if self.config.fabric_queue_capacity is not None:
+            obs.gauge("sim.fabric.backlog_max").set(self.max_fabric_backlog)
         obs.counter("sim.packets", outcome="completed").value = len(
             self.completed
         )
         obs.counter("sim.packets", outcome="dropped").value = len(
             self.dropped_packets
         )
+        # Tail-latency SLO gauges (cycles): the completion-latency
+        # distribution's p50/p99/p999, bit-identical across engines (both
+        # produce the same measured-latency multiset).
+        if len(latencies):
+            p50, p99, p999 = np.percentile(latencies, [50.0, 99.0, 99.9])
+        else:
+            p50 = p99 = p999 = 0.0
+        obs.gauge("sim.latency.p50").set(float(p50))
+        obs.gauge("sim.latency.p99").set(float(p99))
+        obs.gauge("sim.latency.p999").set(float(p999))
         obs.gauge("sim.horizon_cycles").set(horizon)

@@ -16,6 +16,7 @@ from .synthetic import (
     generate_router_streams,
     generate_stream,
 )
+from .adversarial import churn_storm, flash_crowd, uniform_scan
 from .io import load_streams, save_streams
 from . import locality
 
@@ -36,5 +37,8 @@ __all__ = [
     "generate_router_streams",
     "save_streams",
     "load_streams",
+    "uniform_scan",
+    "flash_crowd",
+    "churn_storm",
     "locality",
 ]

@@ -1,0 +1,153 @@
+"""Adversarial workloads: traffic engineered to defeat the LR-cache.
+
+The paper's synthetic traces (``repro.traffic.synthetic``) are *friendly*
+— Zipf-skewed with short-range recency, the regime SPAL's locality
+argument assumes.  This module builds the opposite: streams that an
+attacker (or an unlucky routing event) could aim at a router to strip
+its caches of useful state and push every lookup onto the FEs.
+
+Three generators:
+
+:func:`uniform_scan`
+    An address-space scan: destinations drawn *uniformly* over the flow
+    population, no skew, no recency.  Working-set size equals the
+    population size, so any cache smaller than the population thrashes.
+:func:`flash_crowd`
+    A popularity pivot: the stream follows one Zipf population, then at
+    ``pivot_fraction`` of the trace abruptly switches to a second,
+    disjointly-seeded population.  Every entry learned before the pivot
+    becomes dead weight at once — the worst case for LRU retention.
+:func:`churn_storm`
+    A BGP-style update storm: :func:`~repro.routing.churn.generate_churn`
+    with storm parameters (large bursts, heavy churn skew), for driving
+    the live-update pipeline while a scan or crowd runs in the data
+    plane.
+
+The packet generators emit :class:`~repro.sim.streaming.PacketStream`
+chunks whose RNG is re-derived from ``(seed, lc, chunk start)``, so a
+stream is deterministic and reusable across runs and engines (the same
+convention as :func:`~repro.sim.streaming.random_stream`); as there,
+the chunk size is part of the stream's identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..routing.churn import ChurnSchedule, generate_churn
+from ..sim.streaming import DEFAULT_CHUNK, PacketStream
+from .synthetic import FlowPopulation
+
+__all__ = ["uniform_scan", "flash_crowd", "churn_storm"]
+
+
+def _take(population: FlowPopulation, flow_idx: np.ndarray):
+    addresses = population.addresses
+    if isinstance(addresses, list):
+        return [addresses[int(i)] for i in flow_idx]
+    return addresses[flow_idx]
+
+
+def uniform_scan(
+    population: FlowPopulation,
+    n_packets: int,
+    lc: int = 0,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> PacketStream:
+    """A cache-thrashing scan: every flow equally likely, every packet
+    independent.
+
+    The LR-cache's hit rate collapses to ``capacity / n_flows`` — the
+    compulsory-miss floor — because no flow is worth retaining over any
+    other.  Use a population at least a few times larger than the cache
+    to observe full thrash.
+    """
+    if n_packets < 0:
+        raise SimulationError("n_packets must be non-negative")
+    n_flows = len(population.probabilities)
+
+    def make_chunk(start: int, n: int):
+        rng = np.random.default_rng((seed, lc, start, 0xAD5CA))
+        return _take(population, rng.integers(0, n_flows, size=n))
+
+    return PacketStream.from_generator(n_packets, make_chunk, chunk_size)
+
+
+def flash_crowd(
+    before: FlowPopulation,
+    after: FlowPopulation,
+    n_packets: int,
+    lc: int = 0,
+    seed: int = 0,
+    pivot_fraction: float = 0.5,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> PacketStream:
+    """A popularity pivot: Zipf traffic over ``before`` up to the pivot
+    packet, then Zipf traffic over ``after`` for the remainder.
+
+    At the pivot the entire learned working set invalidates at once —
+    the transient is a burst of compulsory misses whose depth measures
+    how fast the cache re-learns.  Give ``after`` a different spec seed
+    so the two populations' flow sets are disjoint.
+    """
+    if n_packets < 0:
+        raise SimulationError("n_packets must be non-negative")
+    if not 0.0 <= pivot_fraction <= 1.0:
+        raise SimulationError(
+            f"pivot_fraction must be in [0, 1], got {pivot_fraction}"
+        )
+    pivot = int(n_packets * pivot_fraction)
+
+    def make_chunk(start: int, n: int):
+        rng = np.random.default_rng((seed, lc, start, 0xF1A5))
+        out = []
+        # A chunk can straddle the pivot; draw each side from its own
+        # population while keeping one RNG stream per chunk.
+        n_before = min(max(pivot - start, 0), n)
+        if n_before:
+            idx = rng.choice(
+                len(before.probabilities),
+                size=n_before,
+                p=before.probabilities,
+            )
+            out.append(_take(before, idx))
+        if n - n_before:
+            idx = rng.choice(
+                len(after.probabilities),
+                size=n - n_before,
+                p=after.probabilities,
+            )
+            out.append(_take(after, idx))
+        if isinstance(out[0], list):
+            return [a for part in out for a in part]
+        return np.concatenate(out) if len(out) > 1 else out[0]
+
+    return PacketStream.from_generator(n_packets, make_chunk, chunk_size)
+
+
+def churn_storm(
+    table,
+    rate_per_s: float,
+    horizon_cycles: int,
+    seed: int = 0,
+    burst_mean: float = 32.0,
+    churn_fraction: float = 0.25,
+) -> ChurnSchedule:
+    """An update storm: large announce/withdraw bursts aimed at the
+    churn-prone tail of the table.
+
+    A thin wrapper over :func:`~repro.routing.churn.generate_churn` with
+    storm-grade defaults — bursts ~5x the benign mean and a quarter of
+    the table in play — so experiments name the adversary explicitly
+    instead of tuning churn knobs inline.
+    """
+    return generate_churn(
+        table,
+        rate_per_s=rate_per_s,
+        horizon_cycles=horizon_cycles,
+        seed=seed,
+        burst_mean=burst_mean,
+        churn_fraction=churn_fraction,
+    )

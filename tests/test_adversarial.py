@@ -1,0 +1,146 @@
+"""Adversarial traffic generators: determinism, shape, and cache impact."""
+
+import numpy as np
+import pytest
+
+from repro.core import CacheConfig, SpalConfig
+from repro.errors import SimulationError
+from repro.routing import random_small_table
+from repro.routing.ipv6 import make_ipv6_table
+from repro.sim import SpalSimulator
+from repro.traffic import (
+    FlowPopulation,
+    churn_storm,
+    flash_crowd,
+    generate_stream,
+    trace_spec,
+    uniform_scan,
+)
+
+TABLE = random_small_table(200, seed=23, max_length=20)
+SPEC = trace_spec("D_81").scaled(8_000)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return FlowPopulation(SPEC, TABLE)
+
+
+@pytest.fixture(scope="module")
+def pivot_population():
+    from dataclasses import replace
+
+    return FlowPopulation(replace(SPEC, name="pivot", seed=SPEC.seed + 7), TABLE)
+
+
+class TestUniformScan:
+    def test_deterministic_and_in_population(self, population):
+        a = uniform_scan(population, 500, lc=1, seed=4).materialize()
+        b = uniform_scan(population, 500, lc=1, seed=4).materialize()
+        assert np.array_equal(a, b)
+        assert len(a) == 500
+        assert set(a.tolist()) <= set(population.addresses.tolist())
+
+    def test_lc_and_seed_decorrelate(self, population):
+        a = uniform_scan(population, 400, lc=0, seed=4).materialize()
+        b = uniform_scan(population, 400, lc=1, seed=4).materialize()
+        c = uniform_scan(population, 400, lc=0, seed=5).materialize()
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_no_popularity_skew(self, population):
+        # Uniform draws touch essentially the whole flow population;
+        # the Zipf stream of the same length concentrates on fewer flows.
+        scan = uniform_scan(population, 3_000, seed=1).materialize()
+        zipf = generate_stream(population, 3_000, 0)
+        n_flows = len(population.probabilities)
+        assert len(np.unique(scan)) >= 0.9 * n_flows
+        assert len(np.unique(scan)) > len(np.unique(zipf))
+
+    def test_thrashes_the_cache(self, population):
+        config = SpalConfig(
+            n_lcs=2, cache=CacheConfig(n_blocks=32), fe_lookup_cycles=5
+        )
+        def hit_rate(streams):
+            r = SpalSimulator(TABLE, config).run(
+                [np.array(s, copy=True) for s in streams], name="t"
+            )
+            return r.overall_hit_rate
+
+        friendly = hit_rate([generate_stream(population, 2_000, lc)
+                             for lc in range(2)])
+        hostile = hit_rate([uniform_scan(population, 2_000, lc=lc).materialize()
+                            for lc in range(2)])
+        assert hostile < friendly
+
+    def test_negative_count_rejected(self, population):
+        with pytest.raises(SimulationError):
+            uniform_scan(population, -1)
+
+    def test_wide_addresses(self):
+        table6 = make_ipv6_table(60, seed=9)
+        pop6 = FlowPopulation(SPEC, table6)
+        scan = uniform_scan(pop6, 200, seed=2).materialize()
+        assert len(scan) == 200
+
+
+class TestFlashCrowd:
+    def test_pivot_switches_population(self, population, pivot_population):
+        stream = flash_crowd(
+            population, pivot_population, 2_000, seed=3, pivot_fraction=0.5
+        ).materialize()
+        head, tail = set(stream[:1000].tolist()), set(stream[1000:].tolist())
+        before = set(np.asarray(population.addresses).tolist())
+        after = set(np.asarray(pivot_population.addresses).tolist())
+        assert head <= before
+        assert tail <= after
+        # The pivot changed the working set (disjointly-seeded flows).
+        assert len(head & tail) < min(len(head), len(tail))
+
+    def test_deterministic_across_chunk_straddle(self, population,
+                                                 pivot_population):
+        # A pivot inside a chunk draws both sides from one RNG stream.
+        a = flash_crowd(population, pivot_population, 1_000, seed=6,
+                        pivot_fraction=0.33).materialize()
+        b = flash_crowd(population, pivot_population, 1_000, seed=6,
+                        pivot_fraction=0.33).materialize()
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0])
+    def test_degenerate_pivots(self, population, pivot_population, frac):
+        stream = flash_crowd(
+            population, pivot_population, 300, pivot_fraction=frac
+        ).materialize()
+        pop = pivot_population if frac == 0.0 else population
+        assert set(stream.tolist()) <= set(np.asarray(pop.addresses).tolist())
+
+    def test_bad_pivot_rejected(self, population, pivot_population):
+        with pytest.raises(SimulationError):
+            flash_crowd(population, pivot_population, 100, pivot_fraction=1.5)
+
+
+class TestChurnStorm:
+    def test_storm_is_heavier_than_benign_defaults(self):
+        from repro.routing.churn import generate_churn
+
+        storm = churn_storm(TABLE, rate_per_s=10_000_000, horizon_cycles=50_000,
+                            seed=2)
+        benign = generate_churn(TABLE, rate_per_s=10_000_000,
+                                horizon_cycles=50_000, seed=2)
+        assert len(storm) > 0
+        # Same offered rate, bigger bursts: a wider slice of the table in play.
+        prefixes = lambda sched: len({e.prefix for e in sched.events()})
+        assert prefixes(storm) >= prefixes(benign)
+
+    def test_storm_drives_update_pipeline(self, population):
+        config = SpalConfig(
+            n_lcs=2, cache=CacheConfig(n_blocks=64), fe_lookup_cycles=5
+        )
+        streams = [generate_stream(population, 800, lc) for lc in range(2)]
+        storm = churn_storm(TABLE, rate_per_s=20_000_000,
+                            horizon_cycles=100_000, seed=4)
+        r = SpalSimulator(TABLE, config).run(
+            [np.array(s, copy=True) for s in streams],
+            updates=storm, name="t",
+        )
+        assert r.update_events_applied > 0

@@ -115,6 +115,18 @@ def scenarios(draw):
         replicas=draw(st.sampled_from([1, 2])),
         fe_lookup_cycles=draw(st.sampled_from([1, 5])),
     )
+    if draw(st.booleans()):
+        # Bounded queues: small caps so the shed paths actually fire.
+        config = SpalConfig(
+            n_lcs=config.n_lcs,
+            cache=config.cache,
+            replicas=config.replicas,
+            fe_lookup_cycles=config.fe_lookup_cycles,
+            fe_queue_capacity=draw(st.sampled_from([None, 1, 2, 4])),
+            fabric_queue_capacity=draw(st.sampled_from([None, 2, 4, 8])),
+            shed_policy=draw(st.sampled_from(["tail_drop", "red", "priority"])),
+            shed_seed=draw(st.integers(0, 20)),
+        )
     seed = draw(st.integers(0, 10_000))
     n_packets = draw(st.integers(40, 250))
     faults = None
@@ -131,6 +143,27 @@ def scenarios(draw):
                 extra_latency=draw(st.integers(0, 4)),
                 drop_prob=draw(st.sampled_from([0.0, 0.1, 0.3])),
             )
+        if draw(st.booleans()):
+            # Gray failures: slow FEs, flapping links, degraded caches.
+            start = draw(st.integers(0, 1000))
+            faults.slow_lc(
+                start, start + draw(st.integers(1, 2000)),
+                lc=draw(st.integers(0, n_lcs - 1)),
+                multiplier=draw(st.sampled_from([1.5, 2.0, 4.0])),
+            )
+            start = draw(st.integers(0, 1000))
+            faults.flap_link(
+                start, start + draw(st.integers(1, 2000)),
+                period=draw(st.sampled_from([64, 256])),
+                down_cycles=draw(st.sampled_from([16, 64])),
+            )
+            if config.cache is not None:
+                start = draw(st.integers(0, 1000))
+                faults.degrade_lc_cache(
+                    start, start + draw(st.integers(1, 2000)),
+                    lc=draw(st.integers(0, n_lcs - 1)),
+                    miss_fraction=draw(st.sampled_from([0.2, 0.5])),
+                )
     updates = None
     update_policy = "selective"
     if cache is not None and draw(st.booleans()):
@@ -175,6 +208,26 @@ FAULTS = (
     .recover_lc(2500, 1)
     .degrade_fabric(800, 1600, extra_latency=3, drop_prob=0.2)
 )
+
+GRAY = (
+    FaultSchedule(seed=19)
+    .slow_lc(200, 2500, lc=1, multiplier=2.0)
+    .flap_link(400, 2000, period=128, down_cycles=32)
+    .degrade_lc_cache(300, 2200, lc=0, miss_fraction=0.4)
+)
+
+
+def bounded(policy, fe_cap=2, fab_cap=4):
+    return SpalConfig(
+        n_lcs=3,
+        cache=CacheConfig(n_blocks=64, victim_blocks=4),
+        replicas=2,
+        fe_lookup_cycles=5,
+        fe_queue_capacity=fe_cap,
+        fabric_queue_capacity=fab_cap,
+        shed_policy=policy,
+        shed_seed=3,
+    )
 
 
 def churn(policy):
@@ -250,6 +303,18 @@ CASES = {
         SpalConfig(n_lcs=3, cache=CacheConfig(n_blocks=64),
                    cache_remote_results=False),
         {}, {}, False,
+    ),
+    "bounded-tail": (bounded("tail_drop"), {}, {}, True),
+    "bounded-red": (bounded("red"), {}, {}, False),
+    "bounded-priority": (bounded("priority"), {}, {}, False),
+    "gray-failures": (
+        SpalConfig(n_lcs=3, cache=CacheConfig(n_blocks=64, victim_blocks=4),
+                   replicas=2, fe_lookup_cycles=5),
+        {"faults": GRAY}, {}, True,
+    ),
+    "bounded+gray+churn": (
+        bounded("red", fe_cap=3, fab_cap=6),
+        {"faults": GRAY, **churn("selective")}, {}, True,
     ),
 }
 

@@ -20,6 +20,7 @@ from repro.errors import (
     UnreachablePatternError,
 )
 from repro.routing import random_small_table
+from repro.routing.churn import generate_churn
 from repro.routing.ipv6 import make_ipv6_table
 from repro.sim import SpalSimulator
 from repro.tries.lulea import LuleaTrie
@@ -81,6 +82,16 @@ class TestFaultSchedule:
             lambda f: f.degrade_fabric(0, 10, extra_latency=-1),
             lambda f: f.degrade_fabric(0, 10, drop_prob=1.0),
             lambda f: f.degrade_fabric(0, 10, drop_prob=-0.1),
+            lambda f: f.slow_lc(10, 10, 0, 2.0),
+            lambda f: f.slow_lc(0, 10, -1, 2.0),
+            lambda f: f.slow_lc(0, 10, 0, 0.5),
+            lambda f: f.flap_link(0, 10, period=0, down_cycles=1),
+            lambda f: f.flap_link(0, 10, period=4, down_cycles=5),
+            lambda f: f.flap_link(0, 10, period=4, down_cycles=0),
+            lambda f: f.flap_link(0, 10, period=4, down_cycles=2, src=-1),
+            lambda f: f.degrade_lc_cache(10, 5, 0, 0.5),
+            lambda f: f.degrade_lc_cache(0, 10, 0, 0.0),
+            lambda f: f.degrade_lc_cache(0, 10, 0, 1.0),
         ],
     )
     def test_malformed_events_raise(self, call):
@@ -403,6 +414,82 @@ class TestLineCard:
         assert lc.cache.occupancy() == 0
 
 
+class TestOverload:
+    """Bounded queues, load shedding, and gray failures."""
+
+    def test_none_capacities_bit_identical_to_unbounded(self, table):
+        streams = locality_streams(4)
+        base = run_once(table, small_config(), streams)
+        # shed_policy/shed_seed are inert until a capacity is set.
+        armed = run_once(
+            table, small_config(shed_policy="red", shed_seed=9), streams
+        )
+        assert np.array_equal(base.latencies, armed.latencies)
+        assert base.summary() == armed.summary()
+        assert armed.drops == {}
+
+    def test_bounded_fe_queue_sheds_and_audits(self, table):
+        streams = locality_streams(4, n=600)
+        cfg = small_config(fe_queue_capacity=2, fabric_queue_capacity=4)
+        r = run_once(table, cfg, streams)
+        assert r.drops.get("queue_full", 0) > 0
+        assert r.packets + r.total_drops == sum(len(s) for s in streams)
+        # The run-end audit's invariant, restated from the outside: the
+        # recorded high-water marks never reached the bounds.
+        assert max(r.extra["max_fe_backlog"]) < 2
+        assert r.extra["max_fabric_backlog"] < 4
+
+    @pytest.mark.parametrize("policy", ["tail_drop", "red", "priority"])
+    def test_shed_policies_conserve_and_repeat(self, table, policy):
+        streams = locality_streams(4, n=500, seed=8)
+        cfg = small_config(
+            fe_queue_capacity=3, fabric_queue_capacity=6, shed_policy=policy
+        )
+        a = run_once(table, cfg, streams)
+        b = run_once(table, cfg, streams)
+        assert a.packets + a.total_drops == sum(len(s) for s in streams)
+        assert np.array_equal(a.latencies, b.latencies)
+        assert a.drops == b.drops
+        if policy == "tail_drop":
+            assert a.drops.get("shed", 0) == 0
+
+    def test_slow_lc_inflates_latency(self, table):
+        streams = locality_streams(4)
+        base = run_once(table, small_config(), streams)
+        slow = run_once(
+            table,
+            small_config(),
+            streams,
+            faults=FaultSchedule().slow_lc(0, 10**9, lc=0, multiplier=4.0),
+        )
+        assert slow.mean_lookup_cycles > base.mean_lookup_cycles
+        assert sum(slow.drops.values()) == 0  # slowdown degrades, never drops
+
+    def test_flap_link_loses_messages_retries_recover(self, table):
+        streams = locality_streams(4)
+        faults = FaultSchedule().flap_link(
+            0, 10**9, period=100, down_cycles=50
+        )
+        r = run_once(table, small_config(replicas=2), streams, faults=faults)
+        assert r.fabric_dropped_messages > 0
+        assert r.retries > 0
+        assert r.packets + r.total_drops == sum(len(s) for s in streams)
+
+    def test_degraded_cache_lowers_hit_rate(self, table):
+        streams = locality_streams(4)
+        base = run_once(table, small_config(), streams)
+        gray = run_once(
+            table,
+            small_config(),
+            streams,
+            faults=FaultSchedule(seed=3).degrade_lc_cache(
+                0, 10**9, lc=0, miss_fraction=0.5
+            ),
+        )
+        assert gray.cache_stats[0]["hit_rate"] < base.cache_stats[0]["hit_rate"]
+        assert gray.packets == base.packets  # forced misses never drop
+
+
 IPV4_TABLE = random_small_table(80, seed=5, max_length=18)
 IPV6_TABLE = make_ipv6_table(80, seed=6)
 
@@ -481,3 +568,65 @@ class TestProperties:
                 [s.copy() for s in streams], faults=FaultSchedule(), name="t"
             )
         )
+
+    @given(
+        fe_cap=st.one_of(st.none(), st.integers(1, 4)),
+        fab_cap=st.one_of(st.none(), st.integers(2, 8)),
+        policy=st.sampled_from(("tail_drop", "red", "priority")),
+        gray=st.booleans(),
+        churny=st.booleans(),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_conservation_bounded_gray_churn_fast_path(
+        self, fe_cap, fab_cap, policy, gray, churny, seed,
+        fast_path_bit_identity,
+    ):
+        """The overload invariants hold at every point of the bounded x
+        gray x churn cube, with the batch fast paths on and off: every
+        offered packet completes or is one counted drop, and bounded
+        queues never reach their capacity."""
+        cfg = SpalConfig(
+            n_lcs=3,
+            cache=CacheConfig(n_blocks=32),
+            fe_lookup_cycles=5,
+            replicas=2,
+            fe_queue_capacity=fe_cap,
+            fabric_queue_capacity=fab_cap,
+            shed_policy=policy,
+            shed_seed=seed,
+        )
+        rng = np.random.default_rng(seed)
+        streams = [
+            rng.integers(0, 1 << 12, size=150).astype(np.uint64)
+            for _ in range(3)
+        ]
+        faults = (
+            FaultSchedule(seed=seed)
+            .slow_lc(200, 2500, lc=1, multiplier=2.0)
+            .flap_link(300, 2000, period=128, down_cycles=16)
+            .degrade_lc_cache(250, 2200, lc=0, miss_fraction=0.3)
+            if gray
+            else None
+        )
+        updates = (
+            generate_churn(
+                IPV4_TABLE, rate_per_s=200_000, horizon_cycles=3000, seed=seed
+            )
+            if churny
+            else None
+        )
+        on, _ = fast_path_bit_identity(
+            lambda: SpalSimulator(IPV4_TABLE, cfg).run(
+                [s.copy() for s in streams],
+                faults=faults,
+                updates=updates,
+                name="t",
+            )
+        )
+        assert on.packets + on.total_drops == 450
+        assert sum(on.drops.values()) == on.total_drops
+        if fe_cap is not None:
+            assert max(on.extra["max_fe_backlog"]) < fe_cap
+        if fab_cap is not None:
+            assert on.extra["max_fabric_backlog"] < fab_cap
