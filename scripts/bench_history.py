@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Append a run manifest to the benchmark history and gate regressions.
+
+    python scripts/bench_history.py runs/headline-<stamp>.json
+        [--history BENCH_history.json] [--threshold 0.15] [--report-only]
+
+The manifest (written by ``scripts/profile_sim.py``) is appended to the
+history file, then compared against the most recent earlier entry with
+the same run name.  The gate fails (exit 1) when events/s drops, or p99
+latency rises, by more than ``--threshold`` vs. that baseline;
+``--report-only`` prints the verdict but always exits 0 (the PR-CI mode:
+surface the number, let a human judge a deliberate trade-off).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.runstore import (
+    REGRESSION_THRESHOLD,
+    append_history,
+    baseline_for,
+    check_regression,
+    load_manifest,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("manifest", help="run manifest JSON to append")
+    parser.add_argument("--history", default="BENCH_history.json")
+    parser.add_argument("--threshold", type=float,
+                        default=REGRESSION_THRESHOLD)
+    parser.add_argument("--report-only", action="store_true",
+                        help="report regressions but always exit 0")
+    args = parser.parse_args(argv)
+
+    manifest = load_manifest(args.manifest)
+    history = append_history(manifest, args.history)
+    print(f"appended '{manifest.name}' ({manifest.engine}, "
+          f"{manifest.events_per_s:,.0f} events/s, p99 {manifest.p99:g}) "
+          f"-> {args.history} [{len(history)} entries]")
+
+    baseline = baseline_for(history, manifest.name)
+    if baseline is None:
+        print("no earlier run with this name — nothing to gate against")
+        return 0
+
+    print(f"baseline: {baseline.get('created') or 'unstamped'} "
+          f"@ {baseline.get('git_sha', 'unknown')}  "
+          f"{float(baseline.get('events_per_s') or 0):,.0f} events/s, "
+          f"p99 {float(baseline.get('p99') or 0):g}")
+    failures = check_regression(manifest.to_dict(), baseline,
+                                args.threshold)
+    if not failures:
+        print(f"within tolerance ({100 * args.threshold:.0f}%)")
+        return 0
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if args.report_only:
+        print("report-only mode: not failing the run")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Side-by-side diff of two archived run manifests.
+
+    python scripts/obs_diff.py runs/headline-A.json runs/headline-B.json
+        [--width 40]
+
+Prints every headline field with A->B percentage deltas, the metrics the
+two runs share, and — when both manifests carry a per-window telemetry
+series — sparkline pairs for completed/hit_rate/lat_p99/dropped, so a
+throughput regression can be localized in run-time, not just totals.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.runstore import load_manifest, render_diff
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("a", help="baseline manifest JSON")
+    parser.add_argument("b", help="candidate manifest JSON")
+    parser.add_argument("--width", type=int, default=40,
+                        help="column / sparkline width")
+    args = parser.parse_args(argv)
+    print(render_diff(load_manifest(args.a), load_manifest(args.b),
+                      width=args.width))
+
+
+if __name__ == "__main__":
+    main()

@@ -3,16 +3,21 @@
 
 Runs a traced ψ=4 run over synthetic locality traffic and prints the
 hottest metrics from the run's snapshot, the wall-clock phase breakdown,
-the drop/retry accounting, and a per-kernel profile table
-(compile-vs-traverse split and per-level node-touch counts via
-:func:`repro.obs.profile_matcher`).  Optionally exports the packet
-timeline:
+the drop/retry accounting, per-window telemetry sparklines, and a
+per-kernel profile table (compile-vs-traverse split and per-level
+node-touch counts via :func:`repro.obs.profile_matcher`).  Optionally
+exports the packet timeline and the telemetry series:
 
     python scripts/obs_report.py [--packets N] [--lcs PSI]
+                                 [--sample-interval CYCLES]
                                  [--trace out.json] [--jsonl out.jsonl]
+                                 [--openmetrics out.om]
 
 ``--trace`` writes Chrome trace_event JSON (open in https://ui.perfetto.dev
-or chrome://tracing); ``--jsonl`` writes the raw event stream.
+or chrome://tracing); ``--jsonl`` writes the raw event stream;
+``--openmetrics`` writes the sampled series as an OpenMetrics text file.
+``--sample-interval 0`` disables sampling (the report falls back to
+run-total statistics only).
 """
 
 from __future__ import annotations
@@ -64,10 +69,16 @@ def main() -> None:
                         help="packets per line card (default 4000)")
     parser.add_argument("--lcs", type=int, default=4,
                         help="line cards / psi (default 4)")
+    parser.add_argument("--sample-interval", type=int, default=512,
+                        help="telemetry sampling interval in cycles "
+                             "(default 512; 0 disables)")
     parser.add_argument("--trace", metavar="PATH",
                         help="write Chrome trace_event JSON here")
     parser.add_argument("--jsonl", metavar="PATH",
                         help="write the raw JSONL event stream here")
+    parser.add_argument("--openmetrics", metavar="PATH",
+                        help="write the telemetry series as OpenMetrics "
+                             "text here (requires sampling on)")
     args = parser.parse_args()
 
     registry = MetricsRegistry()
@@ -82,7 +93,11 @@ def main() -> None:
     trace = Tracer()
     sim = SpalSimulator(
         table,
-        SpalConfig(n_lcs=args.lcs, cache=CacheConfig(n_blocks=256)),
+        SpalConfig(
+            n_lcs=args.lcs,
+            cache=CacheConfig(n_blocks=256),
+            sample_interval_cycles=args.sample_interval or None,
+        ),
         registry=registry,
         trace=trace,
     )
@@ -105,7 +120,28 @@ def main() -> None:
     print("top metrics:")
     for metric, heat in result.top_metrics(8):
         print(f"  {metric:44s} {heat:12.0f}")
+    print("latency percentiles: " + "  ".join(
+        f"p{q:g} {result.percentile(q):.1f}" for q in (50, 99, 99.9)
+    ) + " cycles")
 
+    series = result.timeseries
+    if series is None:
+        print("telemetry: off (--sample-interval 0); run-total "
+              "statistics above are the whole story")
+    else:
+        print(f"telemetry: {len(series)} windows of "
+              f"{series.interval} cycles")
+        for column in ("completed", "hit_rate", "lat_p99",
+                       "fe_backlog", "dropped"):
+            print(f"  {column:12s} |{series.sparkline(column, width=60)}|")
+
+    if args.openmetrics:
+        if series is None:
+            print("--openmetrics ignored: sampling is off")
+        else:
+            series.write_openmetrics(args.openmetrics)
+            print(f"wrote {len(series)} telemetry windows to "
+                  f"{args.openmetrics} (OpenMetrics text)")
     if args.jsonl:
         n = export_jsonl(trace, args.jsonl)
         print(f"wrote {n} events to {args.jsonl}")

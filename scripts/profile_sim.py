@@ -19,13 +19,18 @@ kernel (via :class:`repro.obs.KernelProfile`; REPRO_BATCH=0 disables the
 batch paths everywhere — see docs/TUTORIAL.md).
 
     python scripts/profile_sim.py [packets_per_lc] [--profile]
-        [--table-size N]
+        [--table-size N] [--no-manifest] [--runs-dir DIR]
 
 ``--table-size`` rebuilds the workload table at N synthetic prefixes
 (default 20,000) — the full-table profile (``make_rt2`` scales the RT_2
 length mix), so the packed node pools and the streaming path can be
 profiled at 200k–1M routes.  Peak RSS (``resource.getrusage``) is
 reported at the end of every run.
+
+Unless ``--no-manifest`` is given, every run archives a
+:class:`repro.obs.RunManifest` (config digest, git SHA, events/s,
+percentiles, peak RSS) under ``--runs-dir`` (default ``runs/``) for
+``scripts/bench_history.py`` / ``scripts/obs_diff.py``.
 """
 
 from __future__ import annotations
@@ -121,6 +126,8 @@ def compare_engines(packets_per_lc: int, table=None) -> dict:
     lookups = sum(c.stats.lookups for c in sim_a.caches)
     return {
         "events": events,
+        "config": config,
+        "table_size": len(table),
         "packets": r_a.packets,
         "hit_rate": hits / lookups if lookups else 0.0,
         # Tail-latency SLO snapshot (identical across engines by the
@@ -198,12 +205,52 @@ def peak_rss_mib() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
+def write_run_manifest(stats: dict, runs_dir: str) -> None:
+    """Archive the headline comparison as a run manifest."""
+    from datetime import datetime, timezone
+
+    from repro.obs.runstore import (
+        RunManifest,
+        config_digest,
+        git_sha,
+        write_manifest,
+    )
+
+    manifest = RunManifest(
+        name="headline",
+        engine="array",
+        table_size=stats["table_size"],
+        packets=stats["packets"],
+        events=stats["events"],
+        events_per_s=stats["array_eps"],
+        p50=stats["p50"],
+        p99=stats["p99"],
+        p999=stats["p999"],
+        peak_rss_mib=peak_rss_mib(),
+        config_digest=config_digest(stats["config"]),
+        git_sha=git_sha(),
+        created=datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ"),
+        metrics={
+            "hit_rate": round(stats["hit_rate"], 6),
+            "scalar_eps": round(stats["scalar_eps"], 1),
+            "array_speedup": round(stats["ratio"], 3),
+        },
+    )
+    path = write_manifest(manifest, runs_dir)
+    print(f"manifest: {path}")
+
+
 def main() -> None:
     argv = sys.argv[1:]
     table_size = 20_000
     if "--table-size" in argv:
         i = argv.index("--table-size")
         table_size = int(argv[i + 1])
+        del argv[i:i + 2]
+    runs_dir = "runs"
+    if "--runs-dir" in argv:
+        i = argv.index("--runs-dir")
+        runs_dir = argv[i + 1]
         del argv[i:i + 2]
     args = [a for a in argv if not a.startswith("--")]
     packets = int(args[0]) if args else 20_000
@@ -234,6 +281,8 @@ def main() -> None:
         profile_scalar(packets, table)
 
     print(f"peak RSS: {peak_rss_mib():.0f} MiB")
+    if "--no-manifest" not in sys.argv[1:]:
+        write_run_manifest(stats, runs_dir)
 
 
 if __name__ == "__main__":

@@ -114,6 +114,16 @@ class SpalConfig:
     shed_seed:
         Seed for the RED early-drop RNG; used only when a capacity is set
         and the policy draws (``red``).
+    sample_interval_cycles:
+        Telemetry sampling window, in cycles.  ``None`` (the default)
+        disables in-run time series entirely — bit-identical to the
+        unsampled simulator, with zero added hot-path work.  When set,
+        every K cycles the engine snapshots its counters into a
+        :class:`~repro.obs.timeseries.TimeSeries` (per-window
+        completed/dropped/shed, hit rate, backlog high-water, windowed
+        latency percentiles) published on
+        ``SimulationResult.timeseries``; core result fields remain
+        bit-identical either way.
     """
 
     n_lcs: int = 16
@@ -134,6 +144,7 @@ class SpalConfig:
     fabric_queue_capacity: Optional[int] = None
     shed_policy: str = "tail_drop"
     shed_seed: int = 0
+    sample_interval_cycles: Optional[int] = None
 
     def validate(self) -> None:
         if self.n_lcs <= 0:
@@ -152,6 +163,11 @@ class SpalConfig:
                 "shed_policy must be 'tail_drop', 'red' or 'priority', "
                 f"got {self.shed_policy!r}"
             )
+        if (
+            self.sample_interval_cycles is not None
+            and self.sample_interval_cycles <= 0
+        ):
+            raise SimulationError("sample_interval_cycles must be positive")
         if self.rem_timeout_cycles is not None and self.rem_timeout_cycles <= 0:
             raise SimulationError("rem_timeout_cycles must be positive")
         if self.rem_max_retries < 0:

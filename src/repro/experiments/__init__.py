@@ -21,6 +21,7 @@ from .ablations import (
 )
 from .churn import run_churn
 from .cram_frontier import run_cram_frontier
+from .detection import run_detection
 from .failover import run_failover
 from .ipv6_storage import run_ipv6_storage
 from .lc_fill import run_lc_fill_sweep
@@ -73,6 +74,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "strides": run_stride_optimization,
     "rt1-trend": run_rt1_trend,
     "cram-frontier": run_cram_frontier,
+    "detection": run_detection,
 }
 
 __all__ = [
@@ -112,4 +114,5 @@ __all__ = [
     "run_stride_optimization",
     "run_rt1_trend",
     "run_cram_frontier",
+    "run_detection",
 ]

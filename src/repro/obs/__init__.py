@@ -14,17 +14,30 @@ Three cooperating pieces:
   card and one per fabric link, plus the schema validator CI runs;
 * :mod:`repro.obs.profile` — **kernel profiling** for the batch-lookup
   kernels and ``measure()``: compile-vs-traverse time split and per-level
-  node-touch counts.
+  node-touch counts;
+* :mod:`repro.obs.timeseries` — a **windowed telemetry sampler**
+  (``SpalConfig.sample_interval_cycles``) packing per-window
+  completion/drop/backlog/latency columns into a
+  :class:`~repro.obs.timeseries.TimeSeries` with JSONL and
+  OpenMetrics exports;
+* :mod:`repro.obs.monitor` — **online gray-failure detection**: rolling
+  burn-rate detectors over sampler windows emitting cycle-stamped
+  :class:`~repro.obs.monitor.HealthEvent`\\ s;
+* :mod:`repro.obs.runstore` — a **run archive**: JSON run manifests
+  under ``runs/``, ``BENCH_history.json`` append + regression gate, and
+  side-by-side manifest diffs.
 
 The contract every consumer relies on: enabling any of this never changes
-simulation outputs (traced and untraced runs produce bit-identical
-:class:`~repro.sim.results.SimulationResult` objects), and with tracing
-disabled the simulator's overhead versus the uninstrumented code is under
-3% (asserted by ``benchmarks/test_bench_obs.py``).  See
+simulation outputs (traced and sampled runs produce bit-identical
+:class:`~repro.sim.results.SimulationResult` core fields versus untraced
+and unsampled runs), and with tracing disabled the simulator's overhead
+versus the uninstrumented code is under 3% — under 5% with the sampler
+enabled (both asserted by ``benchmarks/test_bench_obs.py``).  See
 ``docs/OBSERVABILITY.md`` for naming conventions and the Perfetto
 walkthrough.
 """
 
+from .monitor import DETECTORS, HealthEvent, HealthMonitor
 from .profile import KernelProfile, profile_matcher
 from .registry import (
     DEFAULT_CYCLE_BUCKETS,
@@ -35,6 +48,18 @@ from .registry import (
     exponential_buckets,
     render_metric_name,
 )
+from .runstore import (
+    RunManifest,
+    append_history,
+    baseline_for,
+    check_regression,
+    config_digest,
+    git_sha,
+    load_history,
+    load_manifest,
+    render_diff,
+    write_manifest,
+)
 from .timeline import (
     chrome_trace,
     export_chrome_trace,
@@ -42,7 +67,8 @@ from .timeline import (
     load_jsonl,
     validate_chrome_trace,
 )
-from .trace import EVENT_NAMES, Tracer
+from .timeseries import TimeSeries, TimeSeriesSampler, sparkline
+from .trace import DROP_REASONS, EVENT_NAMES, Tracer
 
 __all__ = [
     "MetricsRegistry",
@@ -54,6 +80,7 @@ __all__ = [
     "DEFAULT_CYCLE_BUCKETS",
     "Tracer",
     "EVENT_NAMES",
+    "DROP_REASONS",
     "chrome_trace",
     "export_chrome_trace",
     "export_jsonl",
@@ -61,4 +88,20 @@ __all__ = [
     "validate_chrome_trace",
     "KernelProfile",
     "profile_matcher",
+    "TimeSeries",
+    "TimeSeriesSampler",
+    "sparkline",
+    "HealthMonitor",
+    "HealthEvent",
+    "DETECTORS",
+    "RunManifest",
+    "write_manifest",
+    "load_manifest",
+    "append_history",
+    "load_history",
+    "baseline_for",
+    "check_regression",
+    "render_diff",
+    "config_digest",
+    "git_sha",
 ]

@@ -1,0 +1,216 @@
+"""Online gray-failure detection over sampled telemetry windows.
+
+A :class:`HealthMonitor` consumes the windows closed by
+:class:`~repro.obs.timeseries.TimeSeriesSampler` — live during a run
+(``SpalSimulator.run(..., monitor=...)``) or offline by replaying a
+stored :class:`~repro.obs.timeseries.TimeSeries` via :meth:`consume` —
+and emits cycle-stamped :class:`HealthEvent`\\ s from four rolling-window
+detectors:
+
+* ``slo_burn`` — the fraction of recent windows whose windowed p99
+  latency exceeds the SLO crosses a burn-rate threshold;
+* ``hit_rate_collapse`` — the windowed cache hit rate drops a
+  configurable fraction below the running cumulative baseline;
+* ``backlog_growth`` — the worst per-LC FE backlog reaches a threshold
+  and does not shrink for ``confirm_windows`` consecutive windows;
+* ``service_skew`` — one LC's windowed mean FE service time exceeds a
+  multiple of the median of the other LCs (the `slow_lc` signature).
+
+Detectors are rising-edge: each stays latched while its condition holds
+and re-arms once the condition clears, so a sustained fault produces one
+event, not one per window.  The monitor never touches engine state —
+attaching one cannot perturb a run (the identity suite pins this).
+
+E22 (``repro.experiments.detection``) scores these detectors against the
+PR 8 ``FaultSchedule`` ground truth for detection latency, precision and
+recall across thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Optional
+
+from ..errors import ObservabilityError
+
+#: Detector names, in emission-priority order.
+DETECTORS = ("slo_burn", "hit_rate_collapse", "backlog_growth",
+             "service_skew")
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One detector firing: the window-end cycle, the offending value and
+    the threshold it crossed (``lc`` is -1 for non-per-LC detectors)."""
+
+    cycle: int
+    detector: str
+    value: float
+    threshold: float
+    lc: int = -1
+    message: str = ""
+
+    def __str__(self) -> str:
+        where = f" lc={self.lc}" if self.lc >= 0 else ""
+        return (f"[cycle {self.cycle}] {self.detector}{where}: "
+                f"{self.value:.3g} vs {self.threshold:.3g} {self.message}")
+
+
+@dataclass
+class HealthMonitor:
+    """Rolling-window detectors over sampler windows (see module doc).
+
+    Thresholds are per-detector; set one to ``None`` to disable that
+    detector.  ``events`` accumulates across windows; :meth:`reset`
+    clears state for replaying another series.
+    """
+
+    #: p99-latency SLO in cycles; a window "burns" when its windowed
+    #: p99 exceeds this.
+    slo_p99_cycles: Optional[float] = None
+    #: Fire when this fraction of the rolling window burns.
+    burn_fraction: float = 0.5
+    #: Fire when windowed hit rate < cumulative baseline * (1 - this).
+    hit_rate_drop: Optional[float] = 0.5
+    #: Windows must have at least this many lookups to judge hit rate.
+    min_lookups: int = 32
+    #: Fire when the worst per-LC FE backlog reaches this many lookups.
+    backlog_threshold: Optional[int] = 8
+    #: Backlog must hold (not shrink) for this many consecutive windows.
+    confirm_windows: int = 2
+    #: Fire when one LC's mean service time >= this multiple of the
+    #: median of the other LCs.
+    skew_threshold: Optional[float] = 1.5
+    #: Rolling-window length, in sampler windows.
+    window: int = 8
+
+    events: List[HealthEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ObservabilityError(
+                f"monitor window must be positive, got {self.window}"
+            )
+        if self.confirm_windows <= 0:
+            raise ObservabilityError(
+                f"confirm_windows must be positive, got {self.confirm_windows}"
+            )
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear rolling state and collected events (for replays)."""
+        self.events = []
+        self._active: Dict[str, bool] = {d: False for d in DETECTORS}
+        self._burn: List[bool] = []
+        self._hits_total = 0
+        self._lookups_total = 0
+        self._backlog_streak = 0
+        self._backlog_prev = 0
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, win: Dict[str, object]) -> List[HealthEvent]:
+        """Consume one closed sampler window (a dict with the
+        ``TimeSeries`` column names); returns events emitted *for this
+        window*."""
+        before = len(self.events)
+        cycle = int(win["t_end"])
+        self._check_slo_burn(cycle, win)
+        self._check_hit_rate(cycle, win)
+        self._check_backlog(cycle, win)
+        self._check_skew(cycle, win)
+        return self.events[before:]
+
+    def consume(self, series) -> List[HealthEvent]:
+        """Replay a stored :class:`TimeSeries` offline from a clean
+        state; returns (and retains) all emitted events."""
+        self.reset()
+        for win in series.rows():
+            self.observe(win)
+        return self.events
+
+    # -- detectors -----------------------------------------------------------
+
+    def _edge(self, detector: str, firing: bool, cycle: int, value: float,
+              threshold: float, lc: int = -1, message: str = "") -> None:
+        """Rising-edge dedup: emit only on False -> True transitions."""
+        if firing and not self._active[detector]:
+            self.events.append(HealthEvent(
+                cycle=cycle, detector=detector, value=float(value),
+                threshold=float(threshold), lc=lc, message=message,
+            ))
+        self._active[detector] = firing
+
+    def _check_slo_burn(self, cycle: int, win: Dict[str, object]) -> None:
+        if self.slo_p99_cycles is None:
+            return
+        burned = (int(win["lat_count"]) > 0
+                  and float(win["lat_p99"]) > self.slo_p99_cycles)
+        self._burn.append(burned)
+        if len(self._burn) > self.window:
+            self._burn.pop(0)
+        rate = sum(self._burn) / len(self._burn)
+        self._edge(
+            "slo_burn", rate >= self.burn_fraction, cycle, rate,
+            self.burn_fraction,
+            message=f"p99 SLO {self.slo_p99_cycles:g} cycles",
+        )
+
+    def _check_hit_rate(self, cycle: int, win: Dict[str, object]) -> None:
+        if self.hit_rate_drop is None:
+            return
+        lookups = int(win["lookups"])
+        hits = int(win["hits"])
+        # Baseline excludes the current window so a collapse cannot
+        # drag its own reference down.
+        baseline = (self._hits_total / self._lookups_total
+                    if self._lookups_total >= self.min_lookups else None)
+        self._hits_total += hits
+        self._lookups_total += lookups
+        if baseline is None or lookups < self.min_lookups:
+            return
+        rate = hits / lookups
+        floor = baseline * (1.0 - self.hit_rate_drop)
+        self._edge(
+            "hit_rate_collapse", rate < floor, cycle, rate, floor,
+            message=f"baseline {baseline:.3f}",
+        )
+
+    def _check_backlog(self, cycle: int, win: Dict[str, object]) -> None:
+        if self.backlog_threshold is None:
+            return
+        backlog = win["fe_backlog"]
+        worst_lc = max(range(len(backlog)), key=lambda i: backlog[i])
+        worst = int(backlog[worst_lc])
+        if worst >= self.backlog_threshold and worst >= self._backlog_prev:
+            self._backlog_streak += 1
+        else:
+            self._backlog_streak = 0
+        self._backlog_prev = worst
+        self._edge(
+            "backlog_growth", self._backlog_streak >= self.confirm_windows,
+            cycle, worst, self.backlog_threshold, lc=worst_lc,
+            message=f"held {self._backlog_streak} windows",
+        )
+
+    def _check_skew(self, cycle: int, win: Dict[str, object]) -> None:
+        if self.skew_threshold is None:
+            return
+        service = [float(v) for v in win["fe_service_mean"]]
+        lookups = [int(v) for v in win["fe_lookups"]]
+        # Judge only LCs that actually served lookups this window.
+        live = [i for i in range(len(service)) if lookups[i] > 0]
+        if len(live) < 2:
+            self._edge("service_skew", False, cycle, 0.0, 0.0)
+            return
+        worst_lc = max(live, key=lambda i: service[i])
+        others = [service[i] for i in live if i != worst_lc]
+        ref = median(others)
+        firing = ref > 0 and service[worst_lc] >= self.skew_threshold * ref
+        self._edge(
+            "service_skew", firing, cycle,
+            service[worst_lc] / ref if ref > 0 else 0.0,
+            self.skew_threshold, lc=worst_lc,
+            message=f"median others {ref:.2f} cycles/lookup",
+        )

@@ -1,0 +1,205 @@
+"""Run archive and regression tracking.
+
+Every ``scripts/profile_sim.py`` / benchmark run can write a
+:class:`RunManifest` — a small JSON document capturing what ran (config
+digest, git SHA, engine, table size) and how it went (events/s, latency
+percentiles, peak RSS, metrics snapshot, optional per-window series) —
+into a ``runs/`` directory.  ``scripts/bench_history.py`` appends
+manifests to ``BENCH_history.json`` and gates on throughput/latency
+regressions vs. a chosen baseline; ``scripts/obs_diff.py`` renders a
+side-by-side diff of any two manifests, per-window sparklines included.
+
+Manifests are plain JSON (``schema`` versioned) so history files survive
+code evolution; unknown keys in old manifests are preserved on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .timeseries import sparkline
+
+#: Manifest schema version (bump on incompatible layout changes).
+SCHEMA = 1
+
+#: Default regression tolerance: fail when events/s drops, or p99 rises,
+#: by more than this fraction vs. the baseline.
+REGRESSION_THRESHOLD = 0.15
+
+
+@dataclass
+class RunManifest:
+    """One archived run: identity, environment, and headline numbers."""
+
+    name: str
+    engine: str
+    table_size: int
+    packets: int
+    events: int
+    events_per_s: float
+    p50: float
+    p99: float
+    p999: float
+    peak_rss_mib: float
+    config_digest: str
+    git_sha: str = "unknown"
+    created: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+    series: Optional[Dict[str, object]] = None
+    schema: int = SCHEMA
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+def config_digest(config) -> str:
+    """Stable sha256 of a ``SpalConfig`` (or any repr-stable object)."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def git_sha(cwd: Union[str, Path, None] = None) -> str:
+    """Current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def write_manifest(manifest: RunManifest,
+                   runs_dir: Union[str, Path] = "runs") -> Path:
+    """Write ``<runs_dir>/<name>-<created>.json``; returns the path."""
+    runs = Path(runs_dir)
+    runs.mkdir(parents=True, exist_ok=True)
+    stamp = manifest.created.replace(":", "").replace("-", "")
+    path = runs / f"{manifest.name}-{stamp or 'run'}.json"
+    # Never clobber an archived run: suffix on collision.
+    i = 1
+    while path.exists():
+        path = runs / f"{manifest.name}-{stamp or 'run'}-{i}.json"
+        i += 1
+    path.write_text(json.dumps(manifest.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> RunManifest:
+    return RunManifest.from_dict(json.loads(Path(path).read_text()))
+
+
+# -- history + regression gate ----------------------------------------------
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, object]]:
+    p = Path(path)
+    if not p.exists():
+        return []
+    return json.loads(p.read_text())
+
+
+def append_history(manifest: RunManifest,
+                   path: Union[str, Path] = "BENCH_history.json"
+                   ) -> List[Dict[str, object]]:
+    """Append a manifest (sans bulky series) to the history file."""
+    history = load_history(path)
+    entry = manifest.to_dict()
+    entry.pop("series", None)
+    history.append(entry)
+    Path(path).write_text(json.dumps(history, indent=2) + "\n")
+    return history
+
+
+def baseline_for(history: List[Dict[str, object]],
+                 name: str) -> Optional[Dict[str, object]]:
+    """Most recent *earlier* entry with the same run name, if any."""
+    same = [e for e in history if e.get("name") == name]
+    return same[-2] if len(same) >= 2 else None
+
+
+def check_regression(current: Dict[str, object],
+                     baseline: Dict[str, object],
+                     threshold: float = REGRESSION_THRESHOLD
+                     ) -> List[str]:
+    """Return human-readable failures (empty list = within tolerance).
+
+    A run regresses when events/s drops by more than ``threshold``, or
+    p99 latency rises by more than ``threshold``, vs. the baseline.
+    """
+    failures: List[str] = []
+    base_eps = float(baseline.get("events_per_s") or 0.0)
+    cur_eps = float(current.get("events_per_s") or 0.0)
+    if base_eps > 0 and cur_eps < base_eps * (1.0 - threshold):
+        failures.append(
+            f"events/s regressed {100 * (1 - cur_eps / base_eps):.1f}%: "
+            f"{cur_eps:,.0f} vs baseline {base_eps:,.0f}"
+        )
+    base_p99 = float(baseline.get("p99") or 0.0)
+    cur_p99 = float(current.get("p99") or 0.0)
+    if base_p99 > 0 and cur_p99 > base_p99 * (1.0 + threshold):
+        failures.append(
+            f"p99 latency regressed {100 * (cur_p99 / base_p99 - 1):.1f}%: "
+            f"{cur_p99:g} vs baseline {base_p99:g} cycles"
+        )
+    return failures
+
+
+# -- diff rendering ----------------------------------------------------------
+
+_DIFF_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("engine", "s"), ("git_sha", "s"), ("table_size", "d"),
+    ("packets", "d"), ("events", "d"), ("events_per_s", ",.0f"),
+    ("p50", "g"), ("p99", "g"), ("p999", "g"), ("peak_rss_mib", ".1f"),
+)
+
+#: Series columns worth a sparkline row in the diff.
+_DIFF_SERIES = ("completed", "hit_rate", "lat_p99", "dropped")
+
+
+def render_diff(a: RunManifest, b: RunManifest, width: int = 40) -> str:
+    """Side-by-side text diff of two manifests (metrics, percentiles,
+    and per-window sparklines when both carry a series)."""
+    lines: List[str] = []
+    la = f"{a.name} ({a.created or 'n/a'})"
+    lb = f"{b.name} ({b.created or 'n/a'})"
+    lines.append(f"{'field':<14} {'A: ' + la:<{width}} B: {lb}")
+    lines.append("-" * (14 + 2 * width))
+    for key, fmt in _DIFF_FIELDS:
+        va, vb = getattr(a, key), getattr(b, key)
+        sa = format(va, fmt) if fmt != "s" else str(va)
+        sb = format(vb, fmt) if fmt != "s" else str(vb)
+        delta = ""
+        if fmt != "s" and isinstance(va, (int, float)) and va:
+            delta = f"  ({100 * (float(vb) - float(va)) / float(va):+.1f}%)"
+        lines.append(f"{key:<14} {sa:<{width}} {sb}{delta}")
+    shared = sorted(set(a.metrics) & set(b.metrics))
+    if shared:
+        lines.append("")
+        lines.append("metrics:")
+        for key in shared:
+            lines.append(
+                f"  {key:<28} {a.metrics[key]:<{width - 16}g} "
+                f"{b.metrics[key]:g}"
+            )
+    if a.series and b.series:
+        lines.append("")
+        lines.append(f"per-window series (A then B, {width} cols):")
+        for col in _DIFF_SERIES:
+            ca = (a.series.get("columns") or {}).get(col)
+            cb = (b.series.get("columns") or {}).get(col)
+            if ca is None or cb is None:
+                continue
+            lines.append(f"  {col}:")
+            lines.append(f"    A |{sparkline(ca, width=width)}|")
+            lines.append(f"    B |{sparkline(cb, width=width)}|")
+    return "\n".join(lines)

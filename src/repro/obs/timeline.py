@@ -110,7 +110,23 @@ def chrome_trace(tracer: Tracer, name: str = "spal") -> Dict[str, object]:
             )
             span["end"] = cycle
             span["outcome"] = "dropped"
-            span["reason"] = event.get("reason", "?")
+            reason = event.get("reason", "?")
+            span["reason"] = reason
+            if reason in ("queue_full", "shed"):
+                # Bounded-queue drops are load-shedding moments worth
+                # spotting at a glance: mark them as instants too.
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": PID_LINE_CARDS,
+                        "tid": lc if isinstance(lc, int) and lc >= 0 else 0,
+                        "name": f"drop.{reason}",
+                        "cat": "drop",
+                        "ts": _us(cycle),  # type: ignore[arg-type]
+                        "s": "t",
+                        "args": {"cycle": cycle, "packet": pid},
+                    }
+                )
         elif ename == "fe":
             start = event["start"]  # type: ignore[index]
             done = event["done"]  # type: ignore[index]
@@ -225,6 +241,15 @@ def export_chrome_trace(
 
 _VALID_PH = {"M", "X", "i"}
 
+#: Instant ("i") event names a well-formed export may contain.
+_VALID_INSTANTS = frozenset(
+    {
+        "cache.hit", "cache.wait", "cache.miss", "timeout.retry",
+        "flush", "fault",
+        "drop.queue_full", "drop.shed",
+    }
+)
+
 
 def validate_chrome_trace(
     doc: Dict[str, object],
@@ -266,6 +291,15 @@ def validate_chrome_trace(
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             raise ObservabilityError(f"event {i} has bad ts {ts!r}")
+        if ph == "i":
+            if event["name"] not in _VALID_INSTANTS:
+                raise ObservabilityError(
+                    f"event {i} has unknown instant name {event['name']!r}"
+                )
+            if event.get("s") not in ("t", "p", "g"):
+                raise ObservabilityError(
+                    f"event {i} has bad instant scope {event.get('s')!r}"
+                )
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

@@ -29,7 +29,10 @@ Event vocabulary (``name`` field):
                     (args: ``attempt``, ``next_home``)
 ``reply``           lookup result arrived back at the arrival LC
 ``complete``        lookup finished (cycle = completion time)
-``drop``            packet dropped (args: ``reason``)
+``drop``            packet dropped (args: ``reason`` — one of
+                    :data:`DROP_REASONS`; the bounded-queue kinds
+                    ``queue_full`` and ``shed`` additionally surface as
+                    ``drop.<reason>`` instants on the Chrome timeline)
 ==================  =====================================================
 
 Every event carries ``cycle``, ``lc`` and the packet id ``pid`` (sequential
@@ -59,6 +62,15 @@ EVENT_NAMES = frozenset(
         "fault",
         "update",
     }
+)
+
+#: The ``reason`` vocabulary of ``drop`` events (the simulator's drop
+#: taxonomy): ``ingress`` (arrival-LC overload), ``crash`` (LC fail-stop),
+#: ``unreachable`` (retries exhausted / no live replica), plus the PR 8
+#: bounded-queue kinds ``queue_full`` (hard capacity) and ``shed``
+#: (early-drop policy).
+DROP_REASONS = frozenset(
+    {"ingress", "crash", "unreachable", "queue_full", "shed"}
 )
 
 

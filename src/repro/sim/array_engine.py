@@ -55,6 +55,7 @@ from ..errors import (
     SimulationError,
     UnreachablePatternError,
 )
+from ..obs.timeseries import NO_SAMPLE as _NO_SAMPLE
 from ..traffic.packets import ArrivalClock, arrival_times
 from .shedding import shed_decision
 
@@ -189,6 +190,7 @@ class ArrayEngine:
         flush_cycles: Optional[Sequence[int]],
         update_events: Optional[Sequence[tuple]],
         warmup_packets: int,
+        sampler=None,
     ) -> Dict[str, object]:
         sim = self.sim
         config = sim.config
@@ -1176,6 +1178,58 @@ class ArrayEngine:
             sim._m_inval_msgs.value += msgs
 
         # -- the merged event loop ----------------------------------------
+        # -- telemetry sampler (None = off: one dead integer compare per
+        # outer-loop iteration against the _NO_SAMPLE sentinel) ----------
+        smp_next = _NO_SAMPLE
+        defer_lat = False
+        if sampler is not None:
+            comp_seen = 0
+            # Without a monitor nothing consumes windows mid-run, so the
+            # reader defers latencies: walking scattered per-packet lists
+            # per window costs more than the whole sampled-run budget;
+            # finish_deferred() resolves the stats from the writeback's
+            # vectorized latency array instead, bit-identically.
+            defer_lat = sampler.monitor is None
+
+            def smp_read(at_cycle: int) -> Dict[str, object]:
+                # Pure reads over the loop's own counters; shares closure
+                # cells with the handlers, so nonlocal rebinds (e.g.
+                # max_fab_backlog) stay visible.
+                nonlocal comp_seen
+                if has_cache:
+                    smp_hits = sum(st_hits) + sum(st_whits) + sum(st_vhits)
+                    smp_lookups = smp_hits + sum(st_misses)
+                else:
+                    smp_hits = smp_lookups = 0
+                if defer_lat:
+                    new_lat = None
+                else:
+                    new_lat = [
+                        p_ct[p] - p_at[p]
+                        for p in completed_order[comp_seen:]
+                        if p_meas[p]
+                    ]
+                    comp_seen = len(completed_order)
+                return {
+                    "completed": len(completed_order),
+                    "dropped": len(dropped_order),
+                    "shed": drops_dict["shed"],
+                    "hits": smp_hits,
+                    "lookups": smp_lookups,
+                    "fe_busy": fe_busy,
+                    "fe_lookups": fe_lookups,
+                    "fe_backlog": [
+                        max(0, fe_free[i] - at_cycle) // fe_cycles
+                        for i in range(n_lcs)
+                    ],
+                    "fe_backlog_hw": max(max_backlog),
+                    "fabric_backlog_hw": max_fab_backlog,
+                    "new_latencies": new_lat,
+                }
+
+            sampler.bind(smp_read)
+            smp_next = sampler.next_boundary
+
         t0 = time.perf_counter()
         processed = 0
         now = 0
@@ -1183,6 +1237,8 @@ class ArrayEngine:
         n_arr = total
         arr_t = sorted_t
         while True:
+            if now >= smp_next:
+                smp_next = sampler.advance(now)
             if ai < n_arr:
                 ak = arr_key[ai]
                 if heap and heap[0][0] < ak:
@@ -1432,6 +1488,12 @@ class ArrayEngine:
             else:
                 inval_prefix(ev[2], now)
         horizon = now
+        if sampler is not None and not defer_lat:
+            # Pack the series now, while the reader's closure state is
+            # untouched by the writeback; the caller's finish() is a
+            # cached no-op.  (Deferred-latency runs finish after the
+            # latency extraction below instead.)
+            sampler.finish(horizon)
 
         # -- writeback ----------------------------------------------------
         if has_cache:
@@ -1517,10 +1579,18 @@ class ArrayEngine:
                 latencies = lat_all[m]
             else:
                 meas_arr = None
+                m = None
                 latencies = lat_all
         else:
             meas_arr = None
-            latencies = np.empty(0, dtype=np.int64)
+            m = None
+            lat_all = latencies = np.empty(0, dtype=np.int64)
+        if sampler is not None and defer_lat:
+            # Per-window latencies are contiguous slices of ``lat_all``
+            # (completion order) between the cumulative completed
+            # cursors; the closure state the final-window read needs is
+            # untouched by the writeback above.
+            sampler.finish_deferred(horizon, lat_all, m)
         failover: Optional[List[int]] = None
         if faults is not None or timeout is not None:
             if comp.size:
@@ -1547,6 +1617,7 @@ class ArrayEngine:
         flush_cycles: Optional[Sequence[int]],
         update_events: Optional[Sequence[tuple]],
         warmup_packets: int,
+        sampler=None,
     ) -> Dict[str, object]:
         """:meth:`run` with O(window) packet state.
 
@@ -2858,6 +2929,54 @@ class ArrayEngine:
 
         sim.phase_seconds["schedule"] = time.perf_counter() - t0
 
+        # -- telemetry sampler (None = off: one dead integer compare per
+        # outer-loop iteration against the _NO_SAMPLE sentinel).  The
+        # latency cursor walks the flushed ``lat_parts`` prefix plus the
+        # live ``lat_cur`` tail, so sampler memory stays O(windows)
+        # regardless of chunking. ----------------------------------------
+        smp_next = _NO_SAMPLE
+        if sampler is not None:
+            lat_seen = 0
+
+            def smp_read(at_cycle: int) -> Dict[str, object]:
+                nonlocal lat_seen
+                if has_cache:
+                    smp_hits = sum(st_hits) + sum(st_whits) + sum(st_vhits)
+                    smp_lookups = smp_hits + sum(st_misses)
+                else:
+                    smp_hits = smp_lookups = 0
+                new_lat: List[int] = []
+                skip = lat_seen
+                for part in lat_parts:
+                    n = len(part)
+                    if skip >= n:
+                        skip -= n
+                        continue
+                    new_lat.extend(part[skip:].tolist())
+                    skip = 0
+                if skip < len(lat_cur):
+                    new_lat.extend(lat_cur[skip:])
+                lat_seen += len(new_lat)
+                return {
+                    "completed": completed_n,
+                    "dropped": dropped_n,
+                    "shed": drops_dict["shed"],
+                    "hits": smp_hits,
+                    "lookups": smp_lookups,
+                    "fe_busy": fe_busy,
+                    "fe_lookups": fe_lookups,
+                    "fe_backlog": [
+                        max(0, fe_free[i] - at_cycle) // fe_cycles
+                        for i in range(n_lcs)
+                    ],
+                    "fe_backlog_hw": max(max_backlog),
+                    "fabric_backlog_hw": max_fab_backlog,
+                    "new_latencies": new_lat,
+                }
+
+            sampler.bind(smp_read)
+            smp_next = sampler.next_boundary
+
         # -- the merged event loop (windowed) -----------------------------
         t0 = time.perf_counter()
         processed = 0
@@ -2869,6 +2988,8 @@ class ArrayEngine:
         arr_slot: List[int] = []
         feeding = True
         while True:
+            if now >= smp_next:
+                smp_next = sampler.advance(now)
             if ai >= n_arr and feeding:
                 win = build_window()
                 if win is None:
@@ -3163,6 +3284,12 @@ class ArrayEngine:
             else:
                 inval_prefix(ev[2], now)
         horizon = now
+        if sampler is not None:
+            # Pack the series before the final ``lat_cur`` flush below
+            # re-homes those latencies into ``lat_parts`` (the cursor
+            # would otherwise see them twice); the caller's finish() is
+            # a cached no-op.
+            sampler.finish(horizon)
 
         # -- writeback ----------------------------------------------------
         if has_cache:

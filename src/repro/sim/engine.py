@@ -62,13 +62,53 @@ class EventQueue:
         self.now = now
         self.processed += processed
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Drain the queue (optionally bounded); returns the final time."""
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        sampler=None,
+    ) -> int:
+        """Drain the queue (optionally bounded); returns the final time.
+
+        ``sampler`` (a :class:`~repro.obs.timeseries.TimeSeriesSampler`)
+        diverts to a separate sampled loop so the default path stays
+        byte-identical to the pre-telemetry engine — sampling off costs
+        literally nothing here.
+        """
+        if sampler is not None:
+            return self._run_sampled(sampler, until, max_events)
         heap = self._heap
         while heap:
             time, _, handler, args = heap[0]
             if until is not None and time > until:
                 break
+            heapq.heappop(heap)
+            self.now = time
+            handler(*args)
+            self.processed += 1
+            if max_events is not None and self.processed >= max_events:
+                break
+        return self.now
+
+    def _run_sampled(
+        self,
+        sampler,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """The sampled twin of :meth:`run`: before handling the first
+        event at-or-past a window boundary, close the window — so a
+        window's snapshot reflects exactly the events strictly before its
+        boundary.  The sampler only *reads* simulator state, so the event
+        outcome is bit-identical to the unsampled loop."""
+        heap = self._heap
+        boundary = sampler.next_boundary
+        while heap:
+            time, _, handler, args = heap[0]
+            if until is not None and time > until:
+                break
+            if time >= boundary:
+                boundary = sampler.advance(time)
             heapq.heappop(heap)
             self.now = time
             handler(*args)

@@ -61,6 +61,13 @@ class SimulationResult:
     #: traced and untraced runs carry bit-identical snapshots (wall-clock
     #: phase timings live on ``SpalSimulator.phase_seconds`` instead).
     metrics_snapshot: Dict[str, object] = field(default_factory=dict)
+    #: In-run telemetry series, populated only when
+    #: ``SpalConfig.sample_interval_cycles`` is set — a
+    #: :class:`~repro.obs.timeseries.TimeSeries` of per-window columns
+    #: (completed/dropped/shed, hit rate, backlogs, windowed latency
+    #: percentiles).  ``None`` on unsampled runs; enabling sampling never
+    #: changes any other field.
+    timeseries: object = None
 
     @property
     def packets(self) -> int:

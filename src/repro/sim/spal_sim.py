@@ -1172,6 +1172,7 @@ class SpalSimulator:
         updates: Optional[ChurnSchedule] = None,
         update_policy: str = "selective",
         engine: str = "auto",
+        monitor=None,
     ) -> SimulationResult:
         """Run the router over per-LC destination streams.
 
@@ -1215,6 +1216,14 @@ class SpalSimulator:
         hatch forces scalar).  The two engines are bit-identical; the
         differential suite in ``tests/test_engine_identity.py`` enforces
         it.
+
+        ``monitor`` attaches a :class:`~repro.obs.monitor.HealthMonitor`
+        to the in-run telemetry sampler (requires
+        ``config.sample_interval_cycles``): each closed sampling window is
+        fed to the monitor's detectors online, and emitted
+        :class:`~repro.obs.monitor.HealthEvent`\\ s accumulate on
+        ``monitor.events``.  Sampler and monitor only *read* simulator
+        state, so attaching them never changes any core result field.
         """
         if getattr(self, "_ran", False):
             raise SimulationError(
@@ -1297,6 +1306,21 @@ class SpalSimulator:
             for ev in updates.events():
                 self.queue.schedule(ev.cycle, self._apply_churn_update, ev.update)
         self._plan_epoch = self.plan.epoch if self.plan is not None else 0
+        # -- in-run telemetry (None = off = bit-identical) -----------------
+        sampler = None
+        if self.config.sample_interval_cycles is not None:
+            from ..obs.timeseries import TimeSeriesSampler
+
+            sampler = TimeSeriesSampler(
+                self.config.sample_interval_cycles,
+                self.config.n_lcs,
+                monitor=monitor,
+            )
+        elif monitor is not None:
+            raise SimulationError(
+                "monitor=... requires config.sample_interval_cycles (the "
+                "health detectors consume sampled telemetry windows)"
+            )
         from .streaming import PacketStream
 
         use_array = self._resolve_engine(engine)
@@ -1326,12 +1350,12 @@ class SpalSimulator:
             if stream_mode:
                 out = ArrayEngine(self).run_streamed(
                     streams, speeds, flush_cycles, update_events,
-                    warmup_packets,
+                    warmup_packets, sampler=sampler,
                 )
             else:
                 out = ArrayEngine(self).run(
                     streams, speeds, precomputed, flush_cycles,
-                    update_events, warmup_packets,
+                    update_events, warmup_packets, sampler=sampler,
                 )
             horizon = out["horizon"]
             latencies = out["latencies"]
@@ -1369,7 +1393,11 @@ class SpalSimulator:
                     self.queue.schedule(int(t), self._invalidate_prefix, prefix)
             self.phase_seconds["schedule"] = time.perf_counter() - t0
             t0 = time.perf_counter()
-            horizon = self.queue.run()
+            if sampler is not None:
+                sampler.bind(self._timeseries_reader())
+                horizon = self.queue.run(sampler=sampler)
+            else:
+                horizon = self.queue.run()
             self.phase_seconds["run"] = time.perf_counter() - t0
             t0 = time.perf_counter()
             latencies = np.array(
@@ -1492,10 +1520,54 @@ class SpalSimulator:
                 self.invalidation_entries_dropped
             )
             result.churn_misses = self.churn_misses
+        if sampler is not None:
+            # Array engines already packed the series pre-writeback; for
+            # them this returns the cached TimeSeries.
+            result.timeseries = sampler.finish(horizon)
         self._fill_registry(horizon, latencies)
         result.metrics_snapshot = self.obs.snapshot()
         self.phase_seconds["collect"] = time.perf_counter() - t0
         return result
+
+    def _timeseries_reader(self):
+        """The scalar loop's sampler reader: pure reads over counters the
+        simulator maintains anyway (see
+        :meth:`repro.obs.timeseries.TimeSeriesSampler.bind`)."""
+        fe_cycles = self.config.fe_lookup_cycles
+        comp_seen = 0
+
+        def read(at_cycle: int) -> Dict[str, object]:
+            nonlocal comp_seen
+            hits = lookups = 0
+            for cache in self.caches:
+                if cache is not None:
+                    s = cache.stats
+                    hits += s.hits + s.waiting_hits + s.victim_hits
+                    lookups += s.lookups
+            new_lat = [
+                p.complete_time - p.arrival_time
+                for p in self.completed[comp_seen:]
+                if p.measured
+            ]
+            comp_seen = len(self.completed)
+            return {
+                "completed": len(self.completed),
+                "dropped": len(self.dropped_packets),
+                "shed": self.drops["shed"],
+                "hits": hits,
+                "lookups": lookups,
+                "fe_busy": [fe.busy_cycles for fe in self.fes],
+                "fe_lookups": list(self.fe_lookups),
+                "fe_backlog": [
+                    max(0, fe.free_at - at_cycle) // fe_cycles
+                    for fe in self.fes
+                ],
+                "fe_backlog_hw": max(self.max_fe_backlog),
+                "fabric_backlog_hw": self.max_fabric_backlog,
+                "new_latencies": new_lat,
+            }
+
+        return read
 
     def _fill_registry(self, horizon: int, latencies: np.ndarray) -> None:
         """Publish end-of-run aggregates into the registry.

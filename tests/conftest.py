@@ -93,6 +93,9 @@ def result_digest(r) -> dict:
         "invalidation_entries_dropped": r.invalidation_entries_dropped,
         "churn_misses": r.churn_misses,
         "metrics_snapshot": r.metrics_snapshot,
+        "timeseries": (
+            r.timeseries.digest() if r.timeseries is not None else None
+        ),
     }
 
 

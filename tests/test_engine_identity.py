@@ -19,6 +19,8 @@ Both run each configuration through ``engine="scalar"`` and
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -349,3 +351,77 @@ class TestCuratedIdentity:
                                                   victim_blocks=4)),
             streams=streams, trace=True,
         )
+
+
+# -- telemetry sampler on/off ------------------------------------------------
+
+SAMPLED_CASES = ("clean-traced", "no-cache", "gray-failures",
+                 "bounded-tail", "bounded+gray+churn")
+
+
+class TestSamplerIdentity:
+    """Enabling ``sample_interval_cycles`` must not change any core
+    result field, metric or trace event — per engine — and the sampled
+    run's series must be self-consistent (window totals equal the run
+    totals).  The series itself may differ *between* engines (window
+    attribution is quantized to each engine's loop granularity), so the
+    cross-engine comparison pops it before diffing.
+    """
+
+    @pytest.mark.parametrize("case", SAMPLED_CASES)
+    def test_sampler_on_off(self, case):
+        config, run_kwargs, sim_kwargs, trace = CASES[case]
+        sampled = dataclasses.replace(config, sample_interval_cycles=256)
+        off = run_both(TABLE, config, run_kwargs, sim_kwargs, trace=trace)
+        on = run_both(TABLE, sampled, run_kwargs, sim_kwargs, trace=trace)
+        for (d_off, ev_off, _), (d_on, ev_on, sim_on) in zip(off, on):
+            ts = d_on.pop("timeseries")
+            assert d_off.pop("timeseries") is None
+            assert ts is not None and len(ts["columns"]["t_end"]) > 0
+            for key in d_off:
+                assert d_off[key] == d_on[key], f"sampling changed {key!r}"
+            if trace:
+                assert ev_off == ev_on, "sampling changed the trace stream"
+            # Window deltas must re-add to the run totals exactly.
+            assert sum(ts["columns"]["completed"]) == len(sim_on.completed)
+            assert sum(ts["columns"]["dropped"]) == \
+                len(sim_on.dropped_packets)
+            assert sum(ts["columns"]["lat_count"]) == len(d_on["latencies"])
+        # Core fields still agree across engines with sampling on.
+        d_scalar, d_array = on[0][0], on[1][0]
+        for key in d_scalar:
+            assert d_scalar[key] == d_array[key], \
+                f"sampled engines disagree on {key!r}"
+
+    def test_sampler_streamed_chunk_independent(self):
+        from repro.sim.streaming import PacketStream
+
+        config = SpalConfig(
+            n_lcs=3, cache=CacheConfig(n_blocks=64, victim_blocks=4)
+        )
+        sampled = dataclasses.replace(config, sample_interval_cycles=256)
+        rng = np.random.default_rng(5)
+        streams = [
+            rng.integers(0, 1 << 16, size=300).astype(np.uint64)
+            for _ in range(config.n_lcs)
+        ]
+
+        def run(cfg, chunk):
+            sim = SpalSimulator(TABLE, config=cfg)
+            ss = [
+                PacketStream.from_array(s, chunk_size=chunk)
+                for s in streams
+            ]
+            return result_digest(sim.run(ss, engine="array"))
+
+        d_off = run(config, 64)
+        d_on = run(sampled, 64)
+        d_on_whole = run(sampled, None)
+        ts = d_on.pop("timeseries")
+        assert d_off.pop("timeseries") is None
+        assert ts is not None
+        for key in d_off:
+            assert d_off[key] == d_on[key], f"sampling changed {key!r}"
+        # O(windows) memory means the series cannot depend on chunking.
+        assert ts == d_on_whole.pop("timeseries"), \
+            "series depends on the streaming chunk size"
