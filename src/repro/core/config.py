@@ -124,6 +124,16 @@ class SpalConfig:
         latency percentiles) published on
         ``SimulationResult.timeseries``; core result fields remain
         bit-identical either way.
+    minimize:
+        FIB-minimisation pass set applied to the routing table *before*
+        partitioning: ``None`` (the default — table used as-is,
+        bit-identical to earlier revisions), ``"full"``
+        (default-removal + ORTC + ordered-covering; minimal output),
+        ``"ortc"`` (ORTC alone; equally minimal), or ``"light"``
+        (default-removal + ordered-covering; cheaper, non-minimal).
+        Minimised tables answer every lookup identically to the
+        original; churn schedules are translated on the fly (see
+        :class:`repro.routing.minimize.MinimizeState`).
     """
 
     n_lcs: int = 16
@@ -145,6 +155,7 @@ class SpalConfig:
     shed_policy: str = "tail_drop"
     shed_seed: int = 0
     sample_interval_cycles: Optional[int] = None
+    minimize: Optional[str] = None
 
     def validate(self) -> None:
         if self.n_lcs <= 0:
@@ -176,6 +187,11 @@ class SpalConfig:
             raise SimulationError(
                 f"on_unreachable must be 'drop' or 'raise', "
                 f"got {self.on_unreachable!r}"
+            )
+        if self.minimize not in (None, "full", "ortc", "light"):
+            raise SimulationError(
+                "minimize must be None, 'full', 'ortc' or 'light', "
+                f"got {self.minimize!r}"
             )
         if self.cache is not None:
             self.cache.validate()

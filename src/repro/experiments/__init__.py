@@ -25,6 +25,7 @@ from .detection import run_detection
 from .failover import run_failover
 from .ipv6_storage import run_ipv6_storage
 from .lc_fill import run_lc_fill_sweep
+from .minimize_exp import run_minimize
 from .overload import run_overload
 from .replication_exp import run_replication
 from .robustness import run_seed_robustness
@@ -68,6 +69,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "robustness": run_seed_robustness,
     "scorecard": run_scorecard,
     "aggregation": run_aggregation,
+    "minimize": run_minimize,
     "replication": run_replication,
     "failover": run_failover,
     "overload": run_overload,
@@ -108,6 +110,7 @@ __all__ = [
     "run_seed_robustness",
     "run_scorecard",
     "run_aggregation",
+    "run_minimize",
     "run_replication",
     "run_failover",
     "run_overload",

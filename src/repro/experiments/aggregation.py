@@ -18,7 +18,7 @@ from typing import Dict, List
 
 from ..analysis.tables import render_table
 from ..core.partition import partition_table
-from ..routing.aggregate import aggregate_table
+from ..routing.minimize import ortc_table
 from ..tries.lulea import LuleaTrie
 from .common import ExperimentResult, get_rt1, get_rt2
 
@@ -48,9 +48,9 @@ def run_aggregation(psi: int = 16) -> ExperimentResult:
         egress = _coarsen_hops(source, psi)
         stages = (
             ("original", source),
-            ("aggregated", aggregate_table(source)),
+            ("aggregated", ortc_table(source)),
             (f"k={psi} egress", egress),
-            (f"k={psi} aggregated", aggregate_table(egress)),
+            (f"k={psi} aggregated", ortc_table(egress)),
         )
         for label, t in stages:
             plan = partition_table(t, psi)

@@ -139,13 +139,18 @@ def run_spal(
     scale_beta: bool = True,
     replicas: int = 1,
     faults: Optional[FaultSchedule] = None,
+    minimize: Optional[str] = None,
 ) -> SimulationResult:
     """One SPAL simulation with the paper's defaults; the figure runners are
     thin sweeps over this function.  ``cache_blocks`` is the paper-nominal
     β; it is shrunk via :func:`scale_cache` at reduced scale unless
     ``scale_beta=False``.  ``faults`` forwards a
     :class:`~repro.core.faults.FaultSchedule` to the run (memoized plans
-    are safe: the simulator mutates a private copy under LC faults)."""
+    are safe: the simulator mutates a private copy under LC faults).
+    ``minimize`` arms the pre-partition FIB-minimisation stage
+    (``"full"``/``"ortc"``/``"light"``; see
+    :mod:`repro.routing.minimize`); it bypasses the memoized plan cache
+    since the plan must be rebuilt from the minimised table."""
     table = get_rt1() if table_id == "rt1" else get_rt2()
     n = packets_per_lc if packets_per_lc is not None else default_packets_per_lc()
     if scale_beta:
@@ -171,12 +176,14 @@ def run_spal(
         fabric=fabric,
         fabric_latency=fabric_latency,
         replicas=replicas,
+        minimize=minimize,
     )
     if (
         partitioned
         and config.partition_bits is None
         and config.pattern_oversubscription is None
         and config.replicas == 1
+        and config.minimize is None
     ):
         plan, matchers = _plan_and_matchers(table_id, n_lcs)
         sim = SpalSimulator(

@@ -27,6 +27,16 @@ from .ipv6 import (
     make_ipv6_table,
 )
 from .aggregate import aggregate_table, aggregation_ratio
+from .minimize import (
+    PASS_SETS,
+    MinimizeState,
+    MinimizeStats,
+    minimization_ratio,
+    minimize_table,
+    ordered_covering,
+    ortc_table,
+    remove_default_routes,
+)
 from .updates import RouteUpdate, UpdateMix, generate_updates
 from .churn import ChurnEvent, ChurnSchedule, generate_churn
 from . import distributions, textio
@@ -70,6 +80,14 @@ __all__ = [
     "generate_churn",
     "aggregate_table",
     "aggregation_ratio",
+    "PASS_SETS",
+    "MinimizeState",
+    "MinimizeStats",
+    "minimization_ratio",
+    "minimize_table",
+    "ordered_covering",
+    "ortc_table",
+    "remove_default_routes",
     "distributions",
     "textio",
 ]

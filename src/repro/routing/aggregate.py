@@ -19,10 +19,20 @@ needs to *undo* a covering route it emits an explicit null route (hop =
 ``NO_ROUTE``), the reject/blackhole route real routers use for the same
 purpose.  Tables without a default route therefore aggregate correctly
 (unmatched space stays unmatched).
+
+.. deprecated::
+   :func:`aggregate_table` is superseded by the
+   :mod:`repro.routing.minimize` pipeline (``minimize_table`` /
+   ``ortc_table``), which produces the identical minimal table without
+   materialising the expanded trie — the recursive construction here
+   costs memory proportional to total prefix *bits* and cannot process
+   the million-prefix snapshots.  The recursive form is retained as the
+   independent test oracle (:func:`_aggregate_table_recursive`).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import FrozenSet, Optional
 
 from .prefix import Prefix
@@ -39,7 +49,27 @@ class _Node:
 
 
 def aggregate_table(table: RoutingTable) -> RoutingTable:
-    """Return the minimal LPM-equivalent table (ORTC)."""
+    """Return the minimal LPM-equivalent table (ORTC).
+
+    .. deprecated::
+       Delegates to :func:`repro.routing.minimize.ortc_table`, which
+       computes the identical table without materialising the expanded
+       trie.  Call ``ortc_table`` (or :func:`~repro.routing.minimize.
+       minimize_table`) directly in new code.
+    """
+    warnings.warn(
+        "aggregate_table is deprecated; use repro.routing.minimize."
+        "ortc_table (identical output) or minimize_table instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .minimize import ortc_table
+
+    return ortc_table(table)
+
+
+def _aggregate_table_recursive(table: RoutingTable) -> RoutingTable:
+    """Reference ORTC via the expanded trie (independent test oracle)."""
     width = table.width
     root = _Node()
     for prefix, hop in table.routes():
@@ -109,8 +139,10 @@ def _select(
 
 
 def aggregation_ratio(table: RoutingTable) -> float:
-    """Original size / aggregated size (≥ 1.0)."""
+    """Original size / aggregated size (≥ 1.0); 1.0 for an empty table."""
     if len(table) == 0:
         return 1.0
-    aggregated = aggregate_table(table)
+    from .minimize import ortc_table
+
+    aggregated = ortc_table(table)
     return len(table) / max(len(aggregated), 1)

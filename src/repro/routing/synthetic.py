@@ -63,6 +63,18 @@ class TableProfile:
         Number of distinct next hops to assign round-robin-with-noise.
     include_default:
         Whether to add a 0.0.0.0/0 default route (hop 0).
+    hop_locality:
+        Probability that an exception (a nested more-specific) carries the
+        *same* next hop as its covering aggregate.  Real more-specifics are
+        mostly churn/deaggregation artifacts that forward exactly like
+        their parent — only the traffic-engineered minority diverges — and
+        this spatial hop correlation is what FIB minimisation (ORTC,
+        ordered covering) exploits.  ``0.0`` (the default) preserves the
+        original independent-draw model bit-for-bit.
+    hop_zipf:
+        Zipf exponent skewing next-hop popularity (weight ``1/k**s`` for
+        hop ``k``).  A backbone router forwards most prefixes through a
+        few dominant peers; ``0.0`` (the default) keeps the uniform draw.
     """
 
     size: int
@@ -73,6 +85,8 @@ class TableProfile:
     )
     next_hop_count: int = 16
     include_default: bool = True
+    hop_locality: float = 0.0
+    hop_zipf: float = 0.0
 
 
 def _default_top_blocks() -> Mapping[int, float]:
@@ -108,11 +122,16 @@ RT2_PROFILE = TableProfile(
 
 #: A 2026 full-feed IPv4 table: ~1M prefixes, deaggregation-heavy (the
 #: exception fraction reflects the modern more-specific churn layer).
+#: Hop locality/skew model the measured structure minimisation feeds on:
+#: most more-specifics forward like their covering aggregate, and a few
+#: dominant peers carry most prefixes.
 FULL_V4_PROFILE = TableProfile(
     size=FULL_V4_SIZE,
     length_histogram=FULLBGP_2026,
     exception_fraction=0.35,
     next_hop_count=64,
+    hop_locality=0.6,
+    hop_zipf=1.0,
 )
 
 
@@ -203,6 +222,31 @@ def generate_table(
         val2_kept = np.empty(0, dtype=np.int64)
         len2_kept = np.empty(0, dtype=np.int64)
         hop2_kept = np.empty(0, dtype=np.int64)
+
+    if profile.hop_locality > 0.0 or profile.hop_zipf > 0.0:
+        # Correlated/skewed hop overlay, from a *separate* RNG stream: the
+        # base draws above keep their exact order, so the seeded prefix
+        # values and lengths are unchanged — only next hops move.  With
+        # both knobs at 0.0 this block never runs and seeded tables are
+        # bit-identical to the original generator.
+        rng_hops = np.random.default_rng(seed + 2)
+        ids = np.arange(1, profile.next_hop_count + 1, dtype=np.int64)
+        if profile.hop_zipf > 0.0:
+            weights = 1.0 / np.arange(
+                1, profile.next_hop_count + 1, dtype=np.float64
+            ) ** profile.hop_zipf
+            weights /= weights.sum()
+        else:
+            weights = None
+        parents_h = rng_hops.choice(ids, size=parents_v.size, p=weights)
+        if val2_kept.size:
+            inherit = (
+                rng_hops.random(val2_kept.size) < profile.hop_locality
+            )
+            drawn = rng_hops.choice(ids, size=val2_kept.size, p=weights)
+            hop2_kept = np.where(
+                inherit, parents_h[parent_idx[keep2]], drawn
+            )
 
     out_v = [parents_v, val2_kept]
     out_l = [parents_l, len2_kept]
@@ -297,14 +341,9 @@ def make_full_v4(seed: int = 7, size: Optional[int] = None) -> RoutingTable:
 
 
 def _resized(profile: TableProfile, size: int) -> TableProfile:
-    return TableProfile(
-        size=size,
-        length_histogram=profile.length_histogram,
-        exception_fraction=profile.exception_fraction,
-        top_blocks=profile.top_blocks,
-        next_hop_count=profile.next_hop_count,
-        include_default=profile.include_default,
-    )
+    from dataclasses import replace
+
+    return replace(profile, size=size)
 
 
 def random_small_table(

@@ -176,6 +176,24 @@ class SpalSimulator:
     ):
         self.config = config or SpalConfig()
         self.config.validate()
+        # -- FIB minimisation (None = off = bit-identical) -----------------
+        # When armed, the table is minimised *before* partitioning so the
+        # plan, the matchers and the pool-bytes accounting all see the
+        # compressed table; churn schedules are translated in run().
+        self._minimize_state = None
+        self.minimize_stats = None
+        if self.config.minimize is not None:
+            if plan is not None or matchers is not None:
+                raise SimulationError(
+                    "plan/matchers injection is incompatible with "
+                    "config.minimize (the plan must be built from the "
+                    "minimised table)"
+                )
+            from ..routing.minimize import minimize_table
+
+            self._minimize_state = minimize_table(table, self.config.minimize)
+            table = self._minimize_state.table
+            self.minimize_stats = self._minimize_state.stats
         self.table = table
         self.partitioned = partitioned
         if not partitioned and (plan is not None or matchers is not None):
@@ -236,6 +254,16 @@ class SpalSimulator:
         }
         self._m_fabric_dropped = self.obs.counter("fabric.msgs", kind="dropped")
         self._m_flushes = self.obs.counter("sim.flushes")
+        if self._minimize_state is not None:
+            ms = self._minimize_state.stats
+            self.obs.gauge("sim.minimize.original_routes").set(
+                ms.original_routes
+            )
+            self.obs.gauge("sim.minimize.minimized_routes").set(
+                ms.minimized_routes
+            )
+            self.obs.gauge("sim.minimize.ratio").set(ms.ratio)
+            self.obs.gauge("sim.minimize.null_routes").set(ms.null_routes)
         #: Wall-clock seconds per run phase (precompute / schedule / run /
         #: collect) — kept off the SimulationResult so deterministic fields
         #: stay bit-identical across repeats; ``scripts/profile_sim.py``
@@ -1261,6 +1289,14 @@ class SpalSimulator:
             # order makes the fault apply ahead of that cycle's arrivals.
             for cycle, kind, lc in faults.lc_events():
                 self.queue.schedule(cycle, self._apply_lc_fault, kind, lc)
+        if updates is not None and self._minimize_state is not None:
+            # Translate the caller's schedule (expressed against the
+            # original table) into the equivalent announce/withdraw diff
+            # against the minimised table.  Translation runs on a clone and
+            # is traffic-independent, so the existing replay machinery
+            # below applies the translated ops unmodified; a translation
+            # that nets out to zero ops simply never arms churn.
+            updates = self._minimize_state.translate_schedule(updates)
         if updates is not None and len(updates) > 0:
             if update_policy not in ("flush", "selective", "rem"):
                 raise SimulationError(

@@ -1,11 +1,20 @@
-"""Tests for ORTC table aggregation (routing.aggregate)."""
+"""Tests for ORTC table aggregation (routing.aggregate / minimize).
+
+The recursive constructor survives as ``_aggregate_table_recursive``, the
+independent oracle; the public entry points now run the packed-array
+pipeline in :mod:`repro.routing.minimize`."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.routing import Prefix, RoutingTable, random_small_table
-from repro.routing.aggregate import aggregate_table, aggregation_ratio
+from repro.routing.aggregate import (
+    _aggregate_table_recursive,
+    aggregate_table,
+    aggregation_ratio,
+)
+from repro.routing.minimize import ortc_table
 
 
 def assert_lpm_equivalent(original, aggregated, n_probes=400, seed=0):
@@ -21,7 +30,7 @@ class TestKnownCases:
         table = RoutingTable.from_strings(
             [("10.0.0.0/9", 1), ("10.128.0.0/9", 1)]
         )
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert len(agg) == 1
         assert agg.lookup(0x0A000001) == 1
         assert agg.lookup(0x0AFFFFFF) == 1
@@ -32,7 +41,7 @@ class TestKnownCases:
         table = RoutingTable.from_strings(
             [("10.0.0.0/8", 1), ("10.1.0.0/16", 1), ("10.2.0.0/16", 2)]
         )
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert len(agg) < 3
         assert_lpm_equivalent(table, agg)
 
@@ -40,7 +49,7 @@ class TestKnownCases:
         table = RoutingTable.from_strings(
             [("10.0.0.0/9", 1), ("10.128.0.0/9", 2)]
         )
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert_lpm_equivalent(table, agg)
         assert len(agg) == 2
 
@@ -58,18 +67,18 @@ class TestKnownCases:
         table = RoutingTable.from_strings(
             [("10.0.0.0/9", 1), ("10.64.0.0/10", 1)]
         )
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert_lpm_equivalent(table, agg, seed=3)
         # Addresses just outside the original coverage stay unmatched.
         assert agg.lookup(0x0A800000) == -1
 
     def test_empty_table(self):
-        agg = aggregate_table(RoutingTable())
+        agg = ortc_table(RoutingTable())
         assert len(agg) == 0
 
     def test_default_only(self):
         table = RoutingTable.from_strings([("0.0.0.0/0", 5)])
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert agg.lookup(0x12345678) == 5
         assert len(agg) == 1
 
@@ -77,7 +86,7 @@ class TestKnownCases:
 class TestAtScale:
     def test_rt1_like_table_shrinks(self):
         table = random_small_table(800, seed=44, max_length=20)
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert len(agg) <= len(table)
         assert_lpm_equivalent(table, agg, seed=4)
 
@@ -85,7 +94,7 @@ class TestAtScale:
         from repro.routing import make_rt1
 
         table = make_rt1(size=3000)
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         assert len(agg) <= len(table)
         assert_lpm_equivalent(table, agg, n_probes=300, seed=5)
 
@@ -98,8 +107,8 @@ class TestAtScale:
 
     def test_idempotent(self):
         table = random_small_table(200, seed=45)
-        once = aggregate_table(table)
-        twice = aggregate_table(once)
+        once = ortc_table(table)
+        twice = ortc_table(once)
         assert len(twice) == len(once)
 
 
@@ -127,20 +136,20 @@ class TestProperties:
     @given(tables(), st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=40))
     @settings(max_examples=120, deadline=None)
     def test_lpm_equivalence(self, table, addrs):
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         for a in addrs:
             assert agg.lookup(a) == table.lookup(a)
 
     @given(tables())
     @settings(max_examples=80, deadline=None)
     def test_never_larger(self, table):
-        assert len(aggregate_table(table)) <= len(table)
+        assert len(ortc_table(table)) <= len(table)
 
     @given(tables())
     @settings(max_examples=50, deadline=None)
     def test_idempotent(self, table):
-        once = aggregate_table(table)
-        assert len(aggregate_table(once)) == len(once)
+        once = ortc_table(table)
+        assert len(ortc_table(once)) == len(once)
 
 
 class TestAggregationExperiment:
@@ -169,8 +178,25 @@ class TestCompositionProperty:
         aggregated table answers exactly like the original table."""
         from repro.core import partition_table
 
-        agg = aggregate_table(table)
+        agg = ortc_table(table)
         plan = partition_table(agg, psi)
         for a in addrs:
             home = plan.home_lc(a)
             assert plan.tables[home].lookup(a) == table.lookup(a)
+
+
+class TestDeprecatedAlias:
+    def test_aggregate_table_warns_and_matches(self):
+        table = RoutingTable.from_strings(
+            [("10.0.0.0/9", 1), ("10.128.0.0/9", 1), ("12.0.0.0/8", 2)]
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = aggregate_table(table)
+        new = ortc_table(table)
+        assert sorted(legacy.routes()) == sorted(new.routes())
+
+    def test_recursive_oracle_agrees(self):
+        table = random_small_table(400, seed=9, max_length=18)
+        ref = _aggregate_table_recursive(table)
+        new = ortc_table(table)
+        assert sorted(ref.routes()) == sorted(new.routes())
